@@ -1,0 +1,36 @@
+"""Shared benchmark harness.
+
+Every benchmark regenerates one paper artifact through
+:mod:`repro.experiments` and prints the rows/series the paper reports, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction report.
+Assets (predictor banks, gates, databases) are cached per process, so the
+first benchmark of each model pays the training cost once.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import REGISTRY
+
+# Benchmarks default to the "medium" scale: large enough for stable shapes,
+# small enough for CI.  Set REPRO_BENCH_SCALE=full for the paper-scale run.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "medium")
+
+
+def run_experiment_benchmark(benchmark, name: str, scale: str | None = None):
+    """Benchmark one artifact regeneration and print its report."""
+    scale = scale or BENCH_SCALE
+    module = REGISTRY[name]
+    result = benchmark.pedantic(lambda: module.run(scale), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def bench_experiment(benchmark):
+    def runner(name: str, scale: str | None = None):
+        return run_experiment_benchmark(benchmark, name, scale)
+
+    return runner

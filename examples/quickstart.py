@@ -1,0 +1,44 @@
+"""Quickstart: decode with SpecEE and compare against the dense baseline.
+
+Builds the Llama2-7B rig (synthetic substrate + trained predictors), decodes
+the same prompt with the dense engine and with SpecEE (T1+T2), verifies the
+outputs agree, and prices both runs on an A100 under the HuggingFace profile.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DenseEngine, build_rig, get_model_spec
+from repro.data.tokenizer import SyntheticTokenizer
+from repro.hardware.latency import LatencyModel
+
+PROMPT_TEXT = "w013 w170 w008 w044"
+
+
+def main() -> None:
+    print("Building rig (trains the per-layer exit predictors once)...")
+    rig = build_rig("llama2-7b", train_prompts=8, train_tokens=40,
+                    predictor_hidden=256, epochs=12)
+    tokenizer = SyntheticTokenizer(rig.model.vocab_size)
+    prompt = tokenizer.encode(PROMPT_TEXT)
+
+    dense = DenseEngine(rig.fresh_model()).generate(prompt, 64)
+    specee = rig.specee_engine().generate(prompt, 64)
+
+    agreement = sum(a == b for a, b in zip(dense.tokens, specee.tokens)) / 64
+    print(f"\nPrompt: {PROMPT_TEXT!r}")
+    print(f"SpecEE continuation: {tokenizer.decode(specee.tokens[:16])} ...")
+    print(f"Token agreement with dense greedy decode: {agreement:.0%}")
+    print(f"Average forward layers: {specee.avg_exit_layer:.1f} of "
+          f"{rig.model.n_layers} (dense always runs all)")
+    print(f"Early-exit rate: {specee.early_exit_rate:.0%}")
+
+    model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+    dense_tps = model.price(dense.ledger).tokens_per_second
+    specee_tps = model.price(specee.ledger).tokens_per_second
+    print(f"\nModelled throughput on A100 (HF profile):")
+    print(f"  dense  : {dense_tps:6.1f} tokens/s")
+    print(f"  SpecEE : {specee_tps:6.1f} tokens/s  ({specee_tps / dense_tps:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

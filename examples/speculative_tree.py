@@ -1,0 +1,47 @@
+"""Speculative decoding with hyper-token early exit (T3, Sec. 6).
+
+Builds a draft token tree, shows the merged mapping (paths -> hyper-tokens),
+then compares EAGLE against SpecEE+EAGLE on a free-running decode.
+
+Run:  python examples/speculative_tree.py
+"""
+
+import numpy as np
+
+from repro import EagleEngine, SpecEESpeculativeEngine, TreeDrafter, build_rig, get_model_spec
+from repro.hardware.latency import LatencyModel
+from repro.mapping.hyper_token import merged_mapping
+
+
+def show_tree(rig) -> None:
+    drafter = TreeDrafter(rig.model.oracle, depth=4, top_branches=4,
+                          level_hit_rate=rig.model.profile.tree_level_hit_rate)
+    tree = drafter.build([5, 9, 2])
+    print(f"Draft tree: {len(tree)} nodes, {len(tree.leaves())} leaves")
+    for hyper in merged_mapping(tree):
+        print(f"  hyper-token: nodes {hyper.nodes} tokens {hyper.tokens}")
+
+
+def compare(rig) -> None:
+    drafter = TreeDrafter(rig.model.oracle, depth=4, top_branches=4,
+                          level_hit_rate=rig.model.profile.tree_level_hit_rate)
+    eagle = EagleEngine(rig.fresh_model(), drafter).generate([5, 9, 2], 240)
+    specee = SpecEESpeculativeEngine(rig.fresh_model(), drafter,
+                                     rig.bank).generate([5, 9, 2], 240)
+    model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+    e_tps = model.price(eagle.ledger).tokens_per_second
+    s_tps = model.price(specee.ledger).tokens_per_second
+    early = float(np.mean([it.early_exit for it in specee.iterations]))
+    print(f"\nEAGLE        : {eagle.tokens_per_iteration:.2f} tokens/iter, "
+          f"{e_tps:.1f} tokens/s (modelled, A100)")
+    print(f"SpecEE+EAGLE : {specee.tokens_per_iteration:.2f} tokens/iter, "
+          f"{s_tps:.1f} tokens/s ({s_tps / e_tps:.2f}x), "
+          f"early-exit iterations {early:.0%}, "
+          f"avg verify depth {specee.avg_exit_layer:.1f}/32")
+
+
+if __name__ == "__main__":
+    rig = build_rig("llama2-7b", train_prompts=8, train_tokens=40,
+                    predictor_hidden=256, epochs=12)
+    show_tree(rig)
+    compare(rig)

@@ -1,0 +1,51 @@
+"""Train a tiny transformer from scratch on the synthetic language.
+
+Everything here is the repository's own substrate: the autograd engine, the
+trainable transformer, Adam, and the oracle corpus.  Demonstrates that the
+nn stack is a genuine (if small) deep-learning framework, not a mock.
+
+Run:  python examples/train_tiny_lm.py
+"""
+
+import numpy as np
+
+from repro.data.corpus import generate_corpus
+from repro.model.oracle import NGramOracle
+from repro.nn.autograd import cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.transformer import TrainableTransformerLM, TransformerConfig
+
+
+def main() -> None:
+    cfg = TransformerConfig(vocab_size=96, dim=48, n_layers=2, n_heads=4,
+                            intermediate_dim=96, max_positions=32)
+    oracle = NGramOracle(cfg.vocab_size, order=2, seed=5)
+    corpus = generate_corpus(oracle, n_sequences=48, seq_len=24, seed=1)
+    lm = TrainableTransformerLM(cfg, seed=0)
+    optimizer = Adam(lm.parameters(), lr=3e-3)
+
+    print(f"Training a {sum(p.data.size for p in lm.parameters()):,}-parameter "
+          f"transformer on {corpus.size:,} oracle tokens")
+    rng = np.random.default_rng(0)
+    for step in range(60):
+        batch = corpus[rng.choice(len(corpus), size=8, replace=False)]
+        inputs, targets = batch[:, :-1], batch[:, 1:]
+        optimizer.zero_grad()
+        logits = lm(inputs)
+        loss = cross_entropy(logits.reshape(-1, cfg.vocab_size), targets.reshape(-1))
+        loss.backward()
+        optimizer.step()
+        if step % 10 == 0 or step == 59:
+            print(f"  step {step:3d}  loss {loss.item():.3f}")
+
+    # Next-token accuracy against the oracle on held-out rollouts.
+    test = generate_corpus(oracle, n_sequences=12, seq_len=24, seed=99)
+    logits = lm(test[:, :-1])
+    predictions = np.argmax(logits.data, axis=-1)
+    accuracy = float(np.mean(predictions == test[:, 1:]))
+    print(f"held-out next-token accuracy: {accuracy:.1%} "
+          f"(chance would be ~{1 / cfg.vocab_size:.1%})")
+
+
+if __name__ == "__main__":
+    main()

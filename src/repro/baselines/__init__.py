@@ -1,0 +1,33 @@
+"""Baseline engines and comparators.
+
+* :mod:`repro.baselines.dense` — full-depth autoregressive decoding (the
+  HuggingFace stand-in every speedup is measured against).
+* :mod:`repro.baselines.adainfer` — AdaInfer early exit: full-vocabulary
+  statistical features + an SVM gate, no verification (Fan et al., 2024).
+* :mod:`repro.baselines.svm` — the from-scratch Pegasos linear SVM AdaInfer
+  uses.
+* :mod:`repro.baselines.raee` — RAEE retrieval-based early exit (kNN over a
+  pre-built exit database).
+* :mod:`repro.baselines.eagle` — EAGLE tree speculative decoding without
+  early exit.
+* :mod:`repro.baselines.prune` — one-shot magnitude pruning (SparseGPT
+  stand-in for the Fig. 1a Pareto frontier).
+"""
+
+from repro.baselines.adainfer import AdaInferEngine
+from repro.baselines.dense import DenseEngine
+from repro.baselines.eagle import EagleEngine
+from repro.baselines.prune import PrunedModelWrapper, magnitude_prune
+from repro.baselines.raee import RAEEDatabase, RAEEEngine
+from repro.baselines.svm import LinearSVM
+
+__all__ = [
+    "AdaInferEngine",
+    "DenseEngine",
+    "EagleEngine",
+    "LinearSVM",
+    "PrunedModelWrapper",
+    "RAEEDatabase",
+    "RAEEEngine",
+    "magnitude_prune",
+]

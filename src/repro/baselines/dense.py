@@ -1,0 +1,66 @@
+"""Full-depth autoregressive baseline (the HuggingFace stand-in).
+
+Runs every decoder layer for every token and projects the full LM head once
+per token.  All speedups in the paper's Figures 14-16 are relative to this
+dataflow priced under the corresponding framework profile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import GenerationResult, StepRecord
+from repro.hardware.ledger import Event
+from repro.model.base import LayeredLM
+
+__all__ = ["DenseEngine"]
+
+
+class DenseEngine:
+    """Greedy full-depth decoding with cost accounting."""
+
+    def __init__(self, model: LayeredLM):
+        self.model = model
+
+    def generate(
+        self,
+        prompt: Sequence[int],
+        max_new_tokens: int,
+        script: Optional[Sequence[int]] = None,
+        force_tokens: Optional[Sequence[int]] = None,
+    ) -> GenerationResult:
+        model = self.model
+        state = model.start(prompt, script=script)
+        result = GenerationResult()
+        result.ledger.prompt_tokens = len(state.context)
+        result.ledger.add(Event.PREFILL_LAYER, calls=model.n_layers,
+                          units=model.n_layers * len(state.context))
+        last = model.n_layers - 1
+        if force_tokens is not None:
+            max_new_tokens = len(force_tokens)
+        for step in range(max_new_tokens):
+            model.begin_step(state)
+            hidden = model.run_to_layer(state, last)
+            result.ledger.add(Event.DECODER_LAYER, calls=model.n_layers)
+            result.ledger.add(Event.LM_HEAD_FULL)
+            logits = model.lm_head_full(hidden)
+            token = int(np.argmax(logits))
+            if force_tokens is not None:
+                from repro.utils.mathx import log_softmax
+
+                token = int(force_tokens[step])
+                result.logprobs.append(float(log_softmax(logits)[token]))
+            model.commit(state, token, last)
+            result.ledger.tokens_generated += 1
+            result.ledger.steps += 1
+            result.tokens.append(token)
+            result.exit_layers.append(last)
+            result.records.append(StepRecord(
+                token=token, exit_layer=last, early_exit=False,
+                predictor_evals=0, verify_attempts=0, active_predictors=0.0,
+                draft_hit=False,
+            ))
+        result.saturations = list(getattr(state, "saturation_layers", []))
+        return result

@@ -1,0 +1,72 @@
+"""Linear SVM trained with Pegasos (Shalev-Shwartz et al., 2011).
+
+AdaInfer gates early exit with a classical SVM over statistical features.
+This is a from-scratch primal sub-gradient implementation with hinge loss
+and L2 regularisation — deterministic given the seed, no external deps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import child_rng
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """Binary linear SVM; labels are {0, 1} externally, {-1, +1} internally."""
+
+    def __init__(self, n_features: int, lambda_reg: float = 1e-3):
+        self.n_features = n_features
+        self.lambda_reg = lambda_reg
+        self.weights = np.zeros(n_features)
+        self.bias = 0.0
+        self._mu = np.zeros(n_features)
+        self._sigma = np.ones(n_features)
+
+    def _standardize(self, x: np.ndarray) -> np.ndarray:
+        return (x - self._mu) / self._sigma
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 20,
+        seed: int = 0,
+    ) -> float:
+        """Pegasos training; returns final training accuracy."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.where(np.asarray(y, dtype=np.float64).reshape(-1) > 0.5, 1.0, -1.0)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes x={x.shape} y={y.shape}")
+        if x.shape[0] == 0:
+            raise ValueError("empty training set")
+        self._mu = x.mean(axis=0)
+        self._sigma = np.maximum(x.std(axis=0), 1e-8)
+        xs = self._standardize(x)
+        n = xs.shape[0]
+        rng = child_rng(seed, "pegasos")
+        t = 0
+        for _ in range(epochs):
+            for i in rng.permutation(n):
+                t += 1
+                eta = 1.0 / (self.lambda_reg * t)
+                margin = y[i] * (xs[i] @ self.weights + self.bias)
+                self.weights *= 1.0 - eta * self.lambda_reg
+                if margin < 1.0:
+                    self.weights += eta * y[i] * xs[i]
+                    self.bias += eta * y[i]
+        return self.accuracy(x, y > 0)
+
+    def decision(self, x: np.ndarray) -> np.ndarray:
+        """Signed margin(s); positive means the positive class."""
+        xs = self._standardize(np.atleast_2d(np.asarray(x, dtype=np.float64)))
+        return xs @ self.weights + self.bias
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.decision(x) > 0
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y).reshape(-1) > 0.5
+        return float(np.mean(self.predict(x) == y))

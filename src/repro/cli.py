@@ -1,0 +1,115 @@
+"""Command-line interface: regenerate paper artifacts from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig19_ablation --scale medium
+    python -m repro run all --scale small --out report.txt
+    python -m repro info llama2-7b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import IO, List, Optional
+
+from repro.config import MODELS, get_model_spec
+from repro.experiments import REGISTRY
+from repro.hardware.devices import DEVICES
+from repro.utils.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpecEE reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every reproducible artifact")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment name from 'list', or 'all'")
+    run.add_argument("--scale", default="small", choices=["small", "medium", "full"],
+                     help="workload size (default: small)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--out", default=None, help="write the report to a file")
+
+    info = sub.add_parser("info", help="show a model or device spec")
+    info.add_argument("name", help="model (llama2-7b, ...) or device (a100-80g, ...)")
+    return parser
+
+
+def _cmd_list(out: IO[str]) -> int:
+    rows = [[name, module.run.__module__.rsplit(".", 1)[-1],
+             (module.__doc__ or "").strip().splitlines()[0]]
+            for name, module in sorted(REGISTRY.items())]
+    print(render_table(["experiment", "module", "description"], rows), file=out)
+    return 0
+
+
+def _cmd_run(experiment: str, scale: str, seed: int, out: IO[str]) -> int:
+    names: List[str]
+    if experiment == "all":
+        names = sorted(REGISTRY)
+    elif experiment in REGISTRY:
+        names = [experiment]
+    else:
+        known = ", ".join(sorted(REGISTRY))
+        print(f"unknown experiment {experiment!r}; known: all, {known}", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        result = REGISTRY[name].run(scale, seed=seed)
+        elapsed = time.perf_counter() - start
+        print(result.render(), file=out)
+        print(f"[{name} completed in {elapsed:.1f}s]\n", file=out)
+    return 0
+
+
+def _cmd_info(name: str, out: IO[str]) -> int:
+    if name in MODELS:
+        spec = get_model_spec(name)
+        rows = [["hidden_dim", spec.hidden_dim], ["heads", spec.n_heads],
+                ["layers", spec.n_layers], ["vocab", spec.vocab_size],
+                ["params (B)", spec.total_params / 1e9],
+                ["fp16 weights (GiB)", spec.weight_bytes / 1024**3]]
+        print(render_table(["field", "value"], rows, title=name), file=out)
+        return 0
+    if name in DEVICES:
+        device = DEVICES[name]
+        rows = [["kind", device.kind], ["fp16 TFLOPS", device.fp16_tflops],
+                ["mem GB/s", device.mem_bw_gbps], ["TDP W", device.tdp_w],
+                ["VRAM GB", device.vram_gb]]
+        print(render_table(["field", "value"], rows, title=name), file=out)
+        return 0
+    print(f"unknown model/device {name!r}", file=sys.stderr)
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    sink: IO[str] = sys.stdout
+    close = False
+    if getattr(args, "out", None):
+        sink = open(args.out, "w")
+        close = True
+    try:
+        if args.command == "list":
+            return _cmd_list(sink)
+        if args.command == "run":
+            return _cmd_run(args.experiment, args.scale, args.seed, sink)
+        if args.command == "info":
+            return _cmd_info(args.name, sink)
+        return 2
+    finally:
+        if close:
+            sink.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

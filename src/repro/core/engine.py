@@ -1,0 +1,218 @@
+"""The SpecEE autoregressive engine (T1 + T2).
+
+Per generated token (Fig. 3):
+
+1. the heuristic scheduling engine marks the predictor-active layers,
+2. the speculative model proposes ``k`` candidate tokens,
+3. the decoder layers run in order; after each *active* layer the
+   speculative LM head is sliced, the 3k features extracted, and the
+   lightweight MLP consulted,
+4. a positive prediction triggers verification (one full LM-head
+   projection); if the global argmax is among the candidates the engine
+   exits and commits that token, otherwise depth continues,
+5. reaching the final layer commits the full model's argmax as usual.
+
+Every op is recorded in the :class:`~repro.hardware.ledger.CostLedger` so the
+hardware models can price the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SpecEEConfig
+from repro.core.features import FeatureExtractor
+from repro.core.predictor import PredictorBank
+from repro.core.scheduling import Scheduler, make_scheduler
+from repro.core.verification import verify_exit
+from repro.hardware.ledger import CostLedger, Event
+from repro.model.base import LayeredLM, LMState
+from repro.model.draft import Speculator
+
+__all__ = ["StepRecord", "GenerationResult", "SpecEEEngine"]
+
+
+@dataclass
+class StepRecord:
+    """Diagnostics for one generated token."""
+
+    token: int
+    exit_layer: int
+    early_exit: bool
+    predictor_evals: int
+    verify_attempts: int
+    active_predictors: float
+    draft_hit: bool
+
+
+@dataclass
+class GenerationResult:
+    """Tokens plus cost ledger and per-step diagnostics."""
+
+    tokens: List[int] = field(default_factory=list)
+    exit_layers: List[int] = field(default_factory=list)
+    records: List[StepRecord] = field(default_factory=list)
+    ledger: CostLedger = field(default_factory=CostLedger)
+    logprobs: List[float] = field(default_factory=list)  # teacher-forced only
+    saturations: List[int] = field(default_factory=list)  # model-internal L* trace
+
+    @property
+    def perplexity(self) -> float:
+        """exp(mean NLL) over teacher-forced reference tokens."""
+        if not self.logprobs:
+            return float("nan")
+        return float(np.exp(-np.mean(self.logprobs)))
+
+    @property
+    def avg_exit_layer(self) -> float:
+        """Average forward layers per token, 1-based (paper's '#Avg. L')."""
+        if not self.exit_layers:
+            return float("nan")
+        return float(np.mean(np.asarray(self.exit_layers) + 1))
+
+    @property
+    def early_exit_rate(self) -> float:
+        if not self.records:
+            return float("nan")
+        return float(np.mean([r.early_exit for r in self.records]))
+
+    @property
+    def avg_active_predictors(self) -> float:
+        if not self.records:
+            return float("nan")
+        return float(np.mean([r.active_predictors for r in self.records]))
+
+
+class SpecEEEngine:
+    """Autoregressive decoding with speculative early exiting."""
+
+    def __init__(
+        self,
+        model: LayeredLM,
+        speculator: Speculator,
+        predictors: PredictorBank,
+        config: Optional[SpecEEConfig] = None,
+        scheduler: Optional[Scheduler] = None,
+    ):
+        self.model = model
+        self.speculator = speculator
+        self.predictors = predictors
+        self.config = config or SpecEEConfig()
+        if speculator.k != self.config.num_speculative:
+            raise ValueError(
+                f"speculator k={speculator.k} != config num_speculative="
+                f"{self.config.num_speculative}"
+            )
+        self.scheduler = scheduler or make_scheduler(
+            self.config.scheduler, model.n_layers,
+            window=self.config.context_window, vicinity=self.config.layer_vicinity,
+        )
+        self._extractor = FeatureExtractor(self.config.num_speculative)
+
+    def generate(
+        self,
+        prompt: Sequence[int],
+        max_new_tokens: int,
+        script: Optional[Sequence[int]] = None,
+        force_tokens: Optional[Sequence[int]] = None,
+    ) -> GenerationResult:
+        """Greedy decode with early exiting; returns tokens + diagnostics.
+
+        ``force_tokens`` switches to teacher forcing for perplexity
+        evaluation: the engine still decides exit layers freely, records the
+        log-probability of each reference token under the exit-layer
+        distribution, but commits the reference so the context follows the
+        dataset text.
+        """
+        state = self.model.start(prompt, script=script)
+        result = GenerationResult()
+        result.ledger.prompt_tokens = len(state.context)
+        result.ledger.add(Event.PREFILL_LAYER, calls=self.model.n_layers,
+                          units=self.model.n_layers * len(state.context))
+        self.scheduler.reset()
+        if force_tokens is not None:
+            max_new_tokens = len(force_tokens)
+        for step in range(max_new_tokens):
+            forced = None if force_tokens is None else int(force_tokens[step])
+            self._generate_one(state, result, forced)
+        result.saturations = list(getattr(state, "saturation_layers", []))
+        return result
+
+    # -- single step --------------------------------------------------------
+    def _generate_one(
+        self, state: LMState, result: GenerationResult, forced: Optional[int] = None
+    ) -> None:
+        model, cfg, ledger = self.model, self.config, result.ledger
+        spec_tokens = self.speculator.propose(state.context)
+        draft_hit = self.speculator.is_hit(state.context)
+        ledger.add(Event.DRAFT_STEP)
+        model.begin_step(state)
+        self._extractor.reset()
+
+        n_layers = model.n_layers
+        exit_token: Optional[int] = None
+        exit_layer = n_layers - 1
+        predictor_evals = 0
+        verify_attempts = 0
+        active_predictors = self.scheduler.active_count()
+
+        hidden = None
+        for layer in range(n_layers):
+            hidden = model.layer_forward(state, layer)
+            ledger.add(Event.DECODER_LAYER)
+            if layer >= n_layers - 1 or layer < cfg.min_exit_layer:
+                continue
+            if not self.scheduler.is_active(layer):
+                continue
+            spec_logits = model.lm_head_slice(hidden, spec_tokens)
+            ledger.add(Event.LM_HEAD_SLICE, units=cfg.num_speculative)
+            features = self._extractor.extract(spec_logits)
+            ledger.add(Event.PREDICTOR)
+            predictor_evals += 1
+            probability = self.predictors.probability(layer, features)
+            if probability < cfg.exit_threshold:
+                continue
+            if cfg.verify_on_exit:
+                verify_attempts += 1
+                ledger.add(Event.LM_HEAD_FULL)
+                verdict = verify_exit(model, hidden, spec_tokens)
+                if verdict.ok:
+                    exit_token, exit_layer = verdict.token, layer
+                    break
+            else:
+                # Unverified exit (ablation only): trust the top local token.
+                local = model.lm_head_slice(hidden, spec_tokens)
+                exit_token = int(spec_tokens[int(np.argmax(local))])
+                exit_layer = layer
+                break
+
+        if exit_token is None:
+            ledger.add(Event.LM_HEAD_FULL)
+            exit_token = int(np.argmax(model.lm_head_full(hidden)))
+            exit_layer = n_layers - 1
+        else:
+            # Early exit skips the remaining layers; the KV slots they would
+            # have produced are filled from the exit hidden state.
+            ledger.add(Event.KV_FILL, units=n_layers - 1 - exit_layer)
+
+        early = exit_layer < n_layers - 1
+        if forced is not None:
+            from repro.utils.mathx import log_softmax
+
+            result.logprobs.append(float(log_softmax(model.lm_head_full(hidden))[forced]))
+            exit_token = forced
+        model.commit(state, exit_token, exit_layer)
+        if early:
+            self.scheduler.observe_exit(exit_layer)
+        ledger.tokens_generated += 1
+        ledger.steps += 1
+        result.tokens.append(exit_token)
+        result.exit_layers.append(exit_layer)
+        result.records.append(StepRecord(
+            token=exit_token, exit_layer=exit_layer, early_exit=early,
+            predictor_evals=predictor_evals, verify_attempts=verify_attempts,
+            active_predictors=active_predictors, draft_hit=draft_hit,
+        ))

@@ -1,0 +1,82 @@
+"""T1 feature extraction (paper Sec. 4.3.1).
+
+Three features per speculative token, computed from the *speculative LM
+head* — the ``hidden_dim x k`` column slice of the full LM head:
+
+1. **Speculative token logits** — raw confidence of the LLM on each
+   candidate.
+2. **Local probabilities** — softmax over only the ``k`` candidates
+   (local, not global, information).
+3. **Probability variation** — difference of local probabilities between the
+   current and the previously evaluated layer, capturing the probability
+   shift of Fig. 5.
+
+Figure 6 shows why all three are necessary: variation alone aliases
+(0.32-0.20 vs 0.58-0.46), and local probabilities alone alias across logit
+scales.  The feature-necessity experiment reproduces that ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.mathx import softmax
+
+__all__ = ["FeatureExtractor", "feature_names"]
+
+
+def feature_names(k: int) -> list[str]:
+    """Column names of the feature vector for ``k`` speculative tokens."""
+    return (
+        [f"logit_{i}" for i in range(k)]
+        + [f"local_prob_{i}" for i in range(k)]
+        + [f"prob_variation_{i}" for i in range(k)]
+    )
+
+
+class FeatureExtractor:
+    """Stateful per-step extractor: remembers the last local probabilities.
+
+    ``reset`` must be called at the start of every generated token; the first
+    evaluated layer of a step reports zero variation (there is no previous
+    measurement), later layers report the difference since the last
+    *evaluated* layer — which, under predictor scheduling, is not necessarily
+    the adjacent one.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._last_probs: Optional[np.ndarray] = None
+
+    @property
+    def feature_dim(self) -> int:
+        return 3 * self.k
+
+    def reset(self) -> None:
+        self._last_probs = None
+
+    def extract(self, spec_logits: np.ndarray) -> np.ndarray:
+        """Build the 3k-dim feature vector from sliced logits."""
+        spec_logits = np.asarray(spec_logits, dtype=np.float64)
+        if spec_logits.shape != (self.k,):
+            raise ValueError(f"expected {self.k} sliced logits, got {spec_logits.shape}")
+        local_probs = softmax(spec_logits)
+        if self._last_probs is None:
+            variation = np.zeros(self.k)
+        else:
+            variation = local_probs - self._last_probs
+        self._last_probs = local_probs
+        return np.concatenate([spec_logits, local_probs, variation])
+
+    def extract_batch(self, spec_logits: np.ndarray, last_probs: Optional[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """Stateless batched variant for tree mode: ``spec_logits`` is
+        ``[m, k]``; returns (features ``[m, 3k]``, new last_probs ``[m, k]``)."""
+        spec_logits = np.asarray(spec_logits, dtype=np.float64)
+        probs = softmax(spec_logits, axis=-1)
+        variation = np.zeros_like(probs) if last_probs is None else probs - last_probs
+        feats = np.concatenate([spec_logits, probs, variation], axis=-1)
+        return feats, probs

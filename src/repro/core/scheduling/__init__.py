@@ -1,0 +1,22 @@
+"""T2: two-level heuristic predictor scheduling (paper Sec. 5)."""
+
+from repro.core.scheduling.offline import OfflineScheduler, profile_exit_frequencies
+from repro.core.scheduling.online import OnlineScheduler
+from repro.core.scheduling.two_level import (
+    AllLayersScheduler,
+    FixedSetScheduler,
+    Scheduler,
+    TwoLevelScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "AllLayersScheduler",
+    "FixedSetScheduler",
+    "OfflineScheduler",
+    "OnlineScheduler",
+    "Scheduler",
+    "TwoLevelScheduler",
+    "make_scheduler",
+    "profile_exit_frequencies",
+]

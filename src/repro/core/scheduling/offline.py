@@ -1,0 +1,88 @@
+"""Offline scheduling (paper Sec. 5.3, "Offline Scheduling").
+
+The exit-layer distribution is *skewed* (Fig. 10a/c): roughly half of the
+layers carry less than the average exit probability, so predictors placed
+there are wasted work.  Offline scheduling runs the model once with all
+predictors enabled over a profiling prompt set, ranks layers by observed
+exit frequency, and keeps the most frequent subset as a model-dependent
+configuration parameter — computed once per LLM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["OfflineScheduler", "profile_exit_frequencies"]
+
+
+def profile_exit_frequencies(exit_layers: Iterable[int], n_layers: int) -> np.ndarray:
+    """Histogram of observed exit layers (full-depth exits excluded — the
+    final layer never hosts a predictor)."""
+    hist = np.zeros(n_layers, dtype=np.float64)
+    for layer in exit_layers:
+        if 0 <= layer < n_layers - 1:
+            hist[layer] += 1.0
+    return hist
+
+
+class OfflineScheduler:
+    """Layer subset chosen from profiled exit frequencies.
+
+    ``top_fraction`` keeps the highest-frequency layers covering that share
+    of *probability mass* (not layer count) — matching the paper's
+    observation that the bottom-50%-probability layers sum to under 20% of
+    exits.  ``top_k`` instead keeps a fixed number of layers (used as the
+    offline component inside the two-level union).
+    """
+
+    def __init__(self, frequencies: Sequence[float]):
+        self.frequencies = np.asarray(frequencies, dtype=np.float64)
+        if self.frequencies.ndim != 1:
+            raise ValueError("frequencies must be one-dimensional")
+        if np.any(self.frequencies < 0):
+            raise ValueError("frequencies must be non-negative")
+        self.n_layers = len(self.frequencies)
+
+    def select_mass(self, top_fraction: float = 0.8) -> FrozenSet[int]:
+        """Smallest layer set covering ``top_fraction`` of exit mass."""
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError("top_fraction must lie in (0, 1]")
+        total = self.frequencies.sum()
+        if total == 0:
+            return frozenset(range(self.n_layers))
+        order = np.argsort(-self.frequencies, kind="stable")
+        chosen: List[int] = []
+        mass = 0.0
+        for layer in order:
+            if mass >= top_fraction * total and chosen:
+                break
+            if self.frequencies[layer] == 0:
+                break
+            chosen.append(int(layer))
+            mass += self.frequencies[layer]
+        return frozenset(chosen)
+
+    def select_top_k(self, k: int) -> FrozenSet[int]:
+        """The ``k`` most frequent exit layers."""
+        if k <= 0:
+            return frozenset()
+        order = np.argsort(-self.frequencies, kind="stable")
+        return frozenset(int(l) for l in order[:k] if self.frequencies[l] > 0)
+
+    def skewness_report(self) -> Dict[str, float]:
+        """Quantify the skew the paper describes: share of layers below the
+        uniform average and the exit mass they carry."""
+        total = self.frequencies.sum()
+        if total == 0:
+            return {"below_avg_layer_share": float("nan"), "below_avg_mass": float("nan")}
+        probs = self.frequencies / total
+        avg = 1.0 / self.n_layers
+        below = probs < avg
+        bottom_half = np.sort(probs)[: self.n_layers // 2]
+        return {
+            "below_avg_layer_share": float(np.mean(below)),
+            "below_avg_mass": float(probs[below].sum()),
+            "bottom_half_mass": float(bottom_half.sum()),
+        }

@@ -1,0 +1,39 @@
+"""Verification algorithm (paper Sec. 4.3.3).
+
+The predictor's features are *local* (softmax over the k candidates only),
+so a positive prediction is confirmed with one full-vocabulary projection:
+compute global logits, and exit only if the global argmax is one of the
+speculative tokens.  This single check is what bounds SpecEE's accuracy loss
+— an exit can only emit a token that is, at that layer, the model's own
+greedy choice.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from repro.model.base import LayeredLM
+
+__all__ = ["VerifyResult", "verify_exit"]
+
+
+class VerifyResult(NamedTuple):
+    """Outcome of one verification: whether to exit and with which token."""
+
+    ok: bool
+    token: int
+
+
+def verify_exit(
+    model: LayeredLM, hidden: np.ndarray, spec_tokens: Sequence[int]
+) -> VerifyResult:
+    """Run the full LM head and test the global argmax against the candidates.
+
+    The caller is responsible for charging the ``lm_head_full`` cost event —
+    verification is exactly one full projection.
+    """
+    logits = model.lm_head_full(hidden)
+    token = int(np.argmax(logits))
+    return VerifyResult(ok=token in set(int(t) for t in spec_tokens), token=token)

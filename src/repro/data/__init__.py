@@ -1,0 +1,27 @@
+"""Workloads: synthetic tokenizer, corpus generator, and the nine dataset
+stand-ins used by the paper's evaluation (Sec. 7.1.3)."""
+
+from repro.data.corpus import generate_corpus, generate_prompts
+from repro.data.datasets import (
+    CALIBRATION,
+    DATASETS,
+    Calibration,
+    DatasetItem,
+    DatasetSpec,
+    get_dataset,
+    make_items,
+)
+from repro.data.tokenizer import SyntheticTokenizer
+
+__all__ = [
+    "CALIBRATION",
+    "Calibration",
+    "DATASETS",
+    "DatasetItem",
+    "DatasetSpec",
+    "SyntheticTokenizer",
+    "generate_corpus",
+    "generate_prompts",
+    "get_dataset",
+    "make_items",
+]

@@ -1,0 +1,245 @@
+"""Rig construction and dataset runs.
+
+A :class:`Rig` bundles everything needed to evaluate one (model, dataset,
+flavor) combination: the synthetic model with dataset-adjusted profile, the
+draft speculator, a trained predictor bank and the offline exit-frequency
+profile.  Banks and offline profiles depend only on (model, flavor,
+predictor size), so they are trained once per process and cached — mirroring
+the paper, which trains predictors once on MT-Bench traces and reuses them
+everywhere (Sec. 7.4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import SimDims, SpecEEConfig
+from repro.core.engine import GenerationResult, SpecEEEngine
+from repro.core.predictor import PredictorBank
+from repro.core.predictor_training import harvest_training_corpus, train_predictor_bank
+from repro.core.scheduling import OfflineScheduler, make_scheduler, profile_exit_frequencies
+from repro.data.corpus import generate_prompts
+from repro.data.datasets import DatasetItem, DatasetSpec
+from repro.eval.metrics import accuracy_percent, answer_matches, perplexity_from_logprobs
+from repro.hardware.ledger import CostLedger
+from repro.model.draft import Speculator
+from repro.model.profiles import get_profile
+from repro.model.synthetic import SyntheticLayeredLM
+
+__all__ = [
+    "Rig", "EvalRun", "build_rig", "make_model",
+    "run_items", "run_classification", "run_generation", "trained_assets",
+]
+
+_DEFAULT_SIM = SimDims()
+
+# (model, flavor, hidden, depth, seed) -> (bank, offline frequencies)
+_ASSET_CACHE: Dict[Tuple, Tuple[PredictorBank, np.ndarray]] = {}
+
+
+def make_model(
+    model_name: str,
+    dataset: Optional[DatasetSpec] = None,
+    flavor: str = "dense",
+    sim: SimDims = _DEFAULT_SIM,
+    seed: int = 0,
+) -> SyntheticLayeredLM:
+    """Synthetic model with (dataset-adjusted) semantic profile.
+
+    The ``awq`` flavor shares the language and dynamics of the dense model —
+    quantisation's accuracy/perplexity effects enter through the calibrated
+    dataset scripts and references, its speed effect through the hardware
+    framework profile.
+    """
+    profile = get_profile(model_name)
+    if dataset is not None:
+        profile = dataset.apply_to_profile(profile)
+    return SyntheticLayeredLM(profile, sim, seed=seed)
+
+
+def trained_assets(
+    model_name: str,
+    flavor: str = "dense",
+    sim: SimDims = _DEFAULT_SIM,
+    seed: int = 0,
+    predictor_hidden: int = 512,
+    predictor_depth: int = 2,
+    train_prompts: int = 10,
+    train_tokens: int = 40,
+    epochs: int = 15,
+) -> Tuple[PredictorBank, np.ndarray]:
+    """Train (or fetch cached) predictor bank + offline exit frequencies."""
+    key = (model_name, flavor, sim, seed, predictor_hidden, predictor_depth,
+           train_prompts, train_tokens, epochs)
+    if key in _ASSET_CACHE:
+        return _ASSET_CACHE[key]
+    model = make_model(model_name, None, flavor, sim, seed)
+    speculator = Speculator(model.oracle, k=4, hit_rate=model.profile.draft_hit_rate)
+    prompts = generate_prompts(train_prompts, model.vocab_size, seed=seed + 11)
+    corpus = harvest_training_corpus(model, speculator, prompts, tokens_per_prompt=train_tokens)
+    bank = PredictorBank(model.n_layers, feature_dim=12, hidden_dim=predictor_hidden,
+                         depth=predictor_depth, seed=seed)
+    train_predictor_bank(bank, corpus, epochs=epochs, seed=seed)
+    # Offline profiling pass: SpecEE with all predictors active.
+    profiling = SpecEEEngine(
+        make_model(model_name, None, flavor, sim, seed), speculator, bank,
+        SpecEEConfig(), scheduler=make_scheduler("all", model.n_layers),
+    )
+    exits: List[int] = []
+    for prompt in generate_prompts(4, model.vocab_size, seed=seed + 23):
+        run = profiling.generate(prompt, 60)
+        exits.extend(l for l, r in zip(run.exit_layers, run.records) if r.early_exit)
+    freqs = profile_exit_frequencies(exits, model.n_layers)
+    _ASSET_CACHE[key] = (bank, freqs)
+    return bank, freqs
+
+
+@dataclass
+class Rig:
+    """Everything needed to evaluate one (model, dataset, flavor) combo."""
+
+    model_name: str
+    flavor: str
+    model: SyntheticLayeredLM
+    speculator: Speculator
+    bank: PredictorBank
+    offline_freqs: np.ndarray
+    sim: SimDims = _DEFAULT_SIM
+    seed: int = 0
+
+    def specee_engine(
+        self,
+        scheduler_kind: str = "two_level",
+        config: Optional[SpecEEConfig] = None,
+        offline_top_k: int = 4,
+    ) -> SpecEEEngine:
+        cfg = config or SpecEEConfig(scheduler=scheduler_kind)
+        scheduler = make_scheduler(
+            scheduler_kind, self.model.n_layers,
+            offline=OfflineScheduler(self.offline_freqs), offline_top_k=offline_top_k,
+            window=cfg.context_window, vicinity=cfg.layer_vicinity,
+        )
+        return SpecEEEngine(self.model, self.speculator, self.bank, cfg, scheduler=scheduler)
+
+    def fresh_model(self) -> SyntheticLayeredLM:
+        """A new model instance with identical semantics (independent state)."""
+        return SyntheticLayeredLM(self.model.profile, self.sim, seed=self.seed)
+
+
+def build_rig(
+    model_name: str,
+    dataset: Optional[DatasetSpec] = None,
+    flavor: str = "dense",
+    sim: SimDims = _DEFAULT_SIM,
+    seed: int = 0,
+    **asset_kwargs,
+) -> Rig:
+    # Predictor banks depend only on the model's semantics, which flavors
+    # share (AWQ's effects enter via calibration and the hardware profile),
+    # so assets are always trained once on the dense flavor.
+    bank, freqs = trained_assets(model_name, "dense", sim, seed, **asset_kwargs)
+    model = make_model(model_name, dataset, flavor, sim, seed)
+    speculator = Speculator(model.oracle, k=4, hit_rate=model.profile.draft_hit_rate)
+    return Rig(model_name=model_name, flavor=flavor, model=model,
+               speculator=speculator, bank=bank, offline_freqs=freqs,
+               sim=sim, seed=seed)
+
+
+@dataclass
+class EvalRun:
+    """Aggregated outcome of an engine over a dataset."""
+
+    dataset: str
+    engine: str
+    ledger: CostLedger = field(default_factory=CostLedger)
+    accuracy: float = float("nan")
+    ppl: float = float("nan")
+    avg_layers: float = float("nan")
+    theoretical_layers: float = float("nan")
+    exit_layers: List[int] = field(default_factory=list)
+    n_items: int = 0
+
+    @property
+    def tokens(self) -> int:
+        return self.ledger.tokens_generated
+
+
+EngineFactory = Callable[[], object]
+
+
+def run_items(
+    engine_factory: EngineFactory,
+    spec: DatasetSpec,
+    items: Sequence[DatasetItem],
+    engine_name: str = "engine",
+    n_layers: Optional[int] = None,
+) -> EvalRun:
+    """Run a fresh engine per item and aggregate metrics.
+
+    Classification items decode ``reasoning + answer`` tokens with the
+    planted script; generation items run teacher-forced over the reference.
+    """
+    run = EvalRun(dataset=spec.name, engine=engine_name)
+    outcomes: List[bool] = []
+    logprobs: List[float] = []
+    exit_layers: List[int] = []
+    theoretical: List[float] = []
+    for item in items:
+        engine = engine_factory()
+        if spec.kind == "classification":
+            assert item.script is not None and item.gold is not None
+            n_tokens = item.answer_start + len(item.gold)
+            result: GenerationResult = engine.generate(
+                item.prompt, n_tokens, script=item.script
+            )
+            outcomes.append(answer_matches(result.tokens, item.gold, item.answer_start))
+        else:
+            assert item.reference is not None
+            result = engine.generate(item.prompt, 0, force_tokens=item.reference)
+            logprobs.extend(result.logprobs)
+        run.ledger.merge(result.ledger)
+        exit_layers.extend(result.exit_layers)
+        theoretical.extend(_theoretical_layers(result, n_layers))
+        run.n_items += 1
+    if outcomes:
+        run.accuracy = accuracy_percent(outcomes)
+    if logprobs:
+        run.ppl = perplexity_from_logprobs(logprobs)
+    if exit_layers:
+        run.avg_layers = float(np.mean(np.asarray(exit_layers) + 1))
+        run.exit_layers = exit_layers
+    if theoretical:
+        run.theoretical_layers = float(np.mean(theoretical))
+    return run
+
+
+def _theoretical_layers(result: GenerationResult, n_layers: Optional[int]) -> List[float]:
+    """Per-token theoretical earliest forward layers (1-based): the
+    saturation depth on draft hits, full depth on misses."""
+    if n_layers is None or not result.saturations:
+        return []
+    out: List[float] = []
+    for i, rec in enumerate(result.records):
+        if i >= len(result.saturations):
+            break
+        sat = result.saturations[i]
+        if rec.draft_hit:
+            out.append(min(sat, n_layers - 1) + 1)
+        else:
+            out.append(float(n_layers))
+    return out
+
+
+def run_classification(engine_factory, spec, items, **kwargs) -> EvalRun:
+    if spec.kind != "classification":
+        raise ValueError(f"{spec.name} is not a classification dataset")
+    return run_items(engine_factory, spec, items, **kwargs)
+
+
+def run_generation(engine_factory, spec, items, **kwargs) -> EvalRun:
+    if spec.kind != "generation":
+        raise ValueError(f"{spec.name} is not a generation dataset")
+    return run_items(engine_factory, spec, items, **kwargs)

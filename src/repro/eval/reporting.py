@@ -1,0 +1,62 @@
+"""Experiment result container and rendering.
+
+Every experiment module returns an :class:`ExperimentResult`: named tables
+(rows the paper prints) and named series (figure curves), plus free-form
+headline metrics.  ``render()`` produces the text report the benchmarks tee
+into ``bench_output.txt``; ``metric()`` gives tests and EXPERIMENTS.md a
+stable way to read headline numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.utils.tables import render_series, render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one paper-artifact experiment."""
+
+    experiment: str
+    title: str
+    headline: Dict[str, float] = field(default_factory=dict)
+    tables: List[Dict] = field(default_factory=list)
+    series: List[Dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_table(self, name: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+        self.tables.append({"name": name, "headers": list(headers),
+                            "rows": [list(r) for r in rows]})
+
+    def add_series(self, name: str, x_label: str, x_values: Sequence,
+                   series: Mapping[str, Sequence[float]]) -> None:
+        self.series.append({"name": name, "x_label": x_label,
+                            "x_values": list(x_values),
+                            "series": {k: list(v) for k, v in series.items()}})
+
+    def metric(self, key: str) -> float:
+        try:
+            return self.headline[key]
+        except KeyError:
+            known = ", ".join(sorted(self.headline))
+            raise KeyError(f"no metric {key!r} in {self.experiment}; known: {known}") from None
+
+    def render(self) -> str:
+        lines = [f"==== {self.experiment}: {self.title} ===="]
+        if self.headline:
+            lines.append("headline: " + ", ".join(
+                f"{k}={v:.4g}" for k, v in sorted(self.headline.items())
+            ))
+        for table in self.tables:
+            lines.append("")
+            lines.append(render_table(table["headers"], table["rows"], title=table["name"]))
+        for s in self.series:
+            lines.append("")
+            lines.append(render_series(s["series"], s["x_label"], s["x_values"], title=s["name"]))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Pricing runs and building speedup tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.config import ModelSpec
+from repro.eval.harness import EvalRun
+from repro.hardware.latency import LatencyBreakdown, LatencyModel
+from repro.utils.mathx import geometric_mean
+
+__all__ = ["PricedRun", "priced_run", "speedup_table"]
+
+
+@dataclass
+class PricedRun:
+    """An EvalRun priced on a concrete (device, framework)."""
+
+    run: EvalRun
+    latency: LatencyBreakdown
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.latency.tokens_per_second
+
+
+def priced_run(
+    run: EvalRun,
+    model: ModelSpec,
+    device: str,
+    framework: str,
+    cpu_device: Optional[str] = None,
+) -> PricedRun:
+    latency = LatencyModel(model, device, framework, cpu_device=cpu_device).price(run.ledger)
+    return PricedRun(run=run, latency=latency)
+
+
+def speedup_table(
+    baseline: Mapping[str, PricedRun],
+    accelerated: Mapping[str, PricedRun],
+) -> Dict[str, Dict[str, float]]:
+    """Per-dataset throughput and speedup plus the Geo.Mean row the paper
+    reports in Figures 14-16."""
+    rows: Dict[str, Dict[str, float]] = {}
+    speedups: List[float] = []
+    for name in baseline:
+        if name not in accelerated:
+            continue
+        base_tps = baseline[name].tokens_per_second
+        fast_tps = accelerated[name].tokens_per_second
+        ratio = fast_tps / base_tps
+        speedups.append(ratio)
+        rows[name] = {
+            "baseline_tps": base_tps,
+            "specee_tps": fast_tps,
+            "speedup": ratio,
+        }
+    if speedups:
+        rows["geomean"] = {
+            "baseline_tps": geometric_mean([r["baseline_tps"] for n, r in rows.items() if n != "geomean"]),
+            "specee_tps": geometric_mean([r["specee_tps"] for n, r in rows.items() if n != "geomean"]),
+            "speedup": geometric_mean(speedups),
+        }
+    return rows

@@ -1,0 +1,52 @@
+"""One module per paper artifact (table/figure) — see DESIGN.md §3.
+
+Every module exposes ``run(scale="small", seed=0) -> ExperimentResult``.
+``scale="small"`` keeps test runtime low; ``scale="full"`` is what the
+benchmarks run and what EXPERIMENTS.md records.
+"""
+
+from repro.experiments import (
+    fig01_layer_share,
+    fig01_pareto,
+    fig05_probability_shift,
+    fig06_feature_necessity,
+    fig07_forward_layers,
+    fig08_dse,
+    fig10_distribution,
+    fig11_context_similarity,
+    fig14_cloud_ar,
+    fig15_cloud_spec,
+    fig16_pc,
+    fig17_memory,
+    fig18_training_ratio,
+    fig19_ablation,
+    sec73_energy,
+    sec74_overhead,
+    table01_related,
+    table02_03_configs,
+    table04_accuracy,
+)
+
+REGISTRY = {
+    "fig01_pareto": fig01_pareto,
+    "fig01_layer_share": fig01_layer_share,
+    "fig05_probability_shift": fig05_probability_shift,
+    "fig06_feature_necessity": fig06_feature_necessity,
+    "fig07_forward_layers": fig07_forward_layers,
+    "fig08_dse": fig08_dse,
+    "fig10_distribution": fig10_distribution,
+    "fig11_context_similarity": fig11_context_similarity,
+    "fig14_cloud_ar": fig14_cloud_ar,
+    "fig15_cloud_spec": fig15_cloud_spec,
+    "fig16_pc": fig16_pc,
+    "fig17_memory": fig17_memory,
+    "fig18_training_ratio": fig18_training_ratio,
+    "fig19_ablation": fig19_ablation,
+    "table01_related": table01_related,
+    "table02_03_configs": table02_03_configs,
+    "table04_accuracy": table04_accuracy,
+    "sec73_energy": sec73_energy,
+    "sec74_overhead": sec74_overhead,
+}
+
+__all__ = ["REGISTRY"] + sorted(REGISTRY)

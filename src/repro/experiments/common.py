@@ -1,0 +1,163 @@
+"""Shared experiment infrastructure: scales, engine factories, caches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines import AdaInferEngine, DenseEngine, EagleEngine
+from repro.baselines.adainfer import train_adainfer_gates
+from repro.baselines.raee import RAEEEngine, build_raee_database
+from repro.config import SpecEEConfig, get_model_spec
+from repro.core import SpecEESpeculativeEngine
+from repro.data import DatasetSpec, get_dataset, make_items
+from repro.data.corpus import generate_prompts
+from repro.eval import EvalRun, Rig, build_rig, priced_run, run_items
+from repro.eval.speedup import PricedRun
+from repro.model.draft import TreeDrafter
+
+__all__ = [
+    "Scale", "SCALES", "FIG14_DATASETS", "FIG16_DATASETS", "TABLE4_DATASETS",
+    "engine_factory", "evaluate", "adainfer_gates", "raee_database",
+    "tree_drafter", "price",
+]
+
+FIG14_DATASETS = ["mt_bench", "sum", "qa", "alpaca", "gsm8k", "humaneval", "mmlu", "csqa"]
+FIG16_DATASETS = ["alpaca", "gsm8k", "humaneval", "mt_bench", "qa", "sum"]
+TABLE4_DATASETS = ["mmlu", "csqa", "sst2", "gsm8k", "sum", "mt_bench", "alpaca"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs."""
+
+    name: str
+    n_items: int            # items per dataset
+    gen_tokens: int         # free-running tokens per throughput measurement
+    train_prompts: int      # predictor-training prompts
+    train_tokens: int       # tokens per training prompt
+    predictor_hidden: int
+    epochs: int
+
+
+SCALES: Dict[str, Scale] = {
+    "small": Scale("small", n_items=8, gen_tokens=120, train_prompts=6,
+                   train_tokens=30, predictor_hidden=128, epochs=10),
+    "medium": Scale("medium", n_items=16, gen_tokens=200, train_prompts=8,
+                    train_tokens=40, predictor_hidden=256, epochs=12),
+    "full": Scale("full", n_items=40, gen_tokens=256, train_prompts=10,
+                  train_tokens=40, predictor_hidden=512, epochs=15),
+}
+
+
+def get_scale(scale: str | Scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        known = ", ".join(sorted(SCALES))
+        raise KeyError(f"unknown scale {scale!r}; known: {known}") from None
+
+
+def rig_for(model_name: str, dataset: Optional[str], scale: Scale,
+            flavor: str = "dense", seed: int = 0) -> Rig:
+    spec = get_dataset(dataset) if dataset else None
+    return build_rig(
+        model_name, spec, flavor=flavor, seed=seed,
+        train_prompts=scale.train_prompts, train_tokens=scale.train_tokens,
+        epochs=scale.epochs, predictor_hidden=scale.predictor_hidden,
+    )
+
+
+# -- auxiliary trained assets (cached per process) ---------------------------
+_ADAINFER_CACHE: Dict[Tuple, Dict] = {}
+_RAEE_CACHE: Dict[Tuple, object] = {}
+
+
+def adainfer_gates(rig: Rig, scale: Scale, seed: int = 0) -> Dict:
+    key = (rig.model_name, rig.flavor, scale.name, seed)
+    if key not in _ADAINFER_CACHE:
+        prompts = generate_prompts(max(scale.train_prompts // 2, 3),
+                                   rig.model.vocab_size, seed=seed + 31)
+        _ADAINFER_CACHE[key] = train_adainfer_gates(
+            rig.fresh_model(), prompts, tokens_per_prompt=scale.train_tokens, seed=seed,
+        )
+    return _ADAINFER_CACHE[key]
+
+
+def raee_database(rig: Rig, scale: Scale, seed: int = 0):
+    key = (rig.model_name, rig.flavor, scale.name, seed)
+    if key not in _RAEE_CACHE:
+        prompts = generate_prompts(max(scale.train_prompts // 2, 3),
+                                   rig.model.vocab_size, seed=seed + 47)
+        _RAEE_CACHE[key] = build_raee_database(
+            rig.fresh_model(), prompts, tokens_per_prompt=scale.train_tokens,
+        )
+    return _RAEE_CACHE[key]
+
+
+def tree_drafter(rig: Rig, depth: int = 4) -> TreeDrafter:
+    return TreeDrafter(rig.model.oracle, depth=depth, top_branches=4,
+                       level_hit_rate=rig.model.profile.tree_level_hit_rate)
+
+
+def engine_factory(kind: str, rig: Rig, scale: Scale, seed: int = 0) -> Callable[[], object]:
+    """Factory of fresh engines over ``rig``'s model semantics.
+
+    Kinds: ``dense``, ``specee`` (T1+T2), ``specee_t1`` (all-layer
+    predictors), ``adainfer``, ``raee``, ``eagle``, ``specee_eagle``.
+    """
+    if kind == "dense":
+        return lambda: DenseEngine(rig.fresh_model())
+    if kind == "specee":
+        return lambda: rig.specee_engine("two_level")
+    if kind == "specee_t1":
+        return lambda: rig.specee_engine("all")
+    if kind == "adainfer":
+        gates = adainfer_gates(rig, scale, seed)
+        return lambda: AdaInferEngine(rig.fresh_model(), gates)
+    if kind == "raee":
+        database = raee_database(rig, scale, seed)
+        return lambda: RAEEEngine(rig.fresh_model(), database)
+    if kind == "eagle":
+        return lambda: EagleEngine(rig.fresh_model(), tree_drafter(rig))
+    if kind == "specee_eagle":
+        return lambda: SpecEESpeculativeEngine(
+            rig.fresh_model(), tree_drafter(rig), rig.bank, SpecEEConfig(),
+        )
+    raise ValueError(f"unknown engine kind {kind!r}")
+
+
+def evaluate(kind: str, rig: Rig, dataset: str, scale: Scale, seed: int = 0) -> EvalRun:
+    """Run engine ``kind`` over the dataset's items."""
+    spec = get_dataset(dataset)
+    items = make_items(spec, rig.model.oracle, rig.model_name,
+                       flavor=rig.flavor, n_items=scale.n_items, seed=seed)
+    factory = engine_factory(kind, rig, scale, seed)
+    return run_items(factory, spec, items, engine_name=kind,
+                     n_layers=rig.model.n_layers)
+
+
+def throughput_run(kind: str, rig: Rig, scale: Scale, seed: int = 0) -> EvalRun:
+    """Free-running decode over several prompts (throughput measurements)."""
+    import numpy as np
+
+    factory = engine_factory(kind, rig, scale, seed)
+    run = EvalRun(dataset="freerun", engine=kind)
+    exits: list = []
+    n_prompts = 3
+    for j in range(n_prompts):
+        engine = factory()
+        result = engine.generate([5 + seed + 13 * j, 9 + j, 2], scale.gen_tokens // n_prompts)
+        run.ledger.merge(result.ledger)
+        exits.extend(getattr(result, "exit_layers", []))
+    if exits:
+        run.avg_layers = float(np.mean(np.asarray(exits) + 1))
+    return run
+
+
+def price(run: EvalRun, model_name: str, device: str, framework: str,
+          cpu_device: Optional[str] = None) -> PricedRun:
+    return priced_run(run, get_model_spec(model_name), device, framework,
+                      cpu_device=cpu_device)

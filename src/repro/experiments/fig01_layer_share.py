@@ -1,0 +1,55 @@
+"""Figure 1(b): decoder layers dominate end-to-end inference time.
+
+For autoregressive (HF) and speculative (EAGLE) decoding on 7B/13B/70B, the
+share of total latency spent inside decoder layers is 70-95% — the paper's
+motivation for attacking layer count.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eval.reporting import ExperimentResult
+from repro.experiments.common import engine_factory, get_scale, price, rig_for
+from repro.eval.harness import EvalRun
+from repro.hardware.ledger import Event
+
+__all__ = ["run"]
+
+
+def _share(run: EvalRun, model_name: str, device: str) -> float:
+    priced = price(run, model_name, device, "hf")
+    layer_time = (priced.latency.per_event_s.get(Event.DECODER_LAYER, 0.0)
+                  + priced.latency.per_event_s.get(Event.TREE_VERIFY_LAYER, 0.0)
+                  + priced.latency.per_event_s.get(Event.PREFILL_LAYER, 0.0))
+    return layer_time / priced.latency.total_s
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    models = ["llama2-7b", "llama2-13b", "llama2-70b"] if sc.name != "small" else ["llama2-7b", "llama2-13b"]
+    result = ExperimentResult(
+        experiment="fig01_layer_share",
+        title="Decoder-layer share of end-to-end time (Fig. 1b)",
+    )
+    rows: List[List[object]] = []
+    for model_name in models:
+        device = "4xa100-80g" if model_name == "llama2-70b" else "a100-80g"
+        rig = rig_for(model_name, None, sc, seed=seed)
+        ar = EvalRun(dataset="freerun", engine="dense")
+        ar.ledger.merge(engine_factory("dense", rig, sc)()
+                        .generate([5, 9, 2], sc.gen_tokens).ledger)
+        spec = EvalRun(dataset="freerun", engine="eagle")
+        spec.ledger.merge(engine_factory("eagle", rig, sc)()
+                          .generate([5, 9, 2], sc.gen_tokens).ledger)
+        ar_share = _share(ar, model_name, device)
+        spec_share = _share(spec, model_name, device)
+        rows.append([model_name, 100 * ar_share, 100 * spec_share])
+        result.headline[f"ar_share_{model_name}"] = 100 * ar_share
+        result.headline[f"spec_share_{model_name}"] = 100 * spec_share
+    result.add_table(
+        "decoder-layer time share (%)",
+        ["model", "autoregressive (HF)", "speculative (EAGLE)"], rows,
+    )
+    result.notes.append("paper: decoder layers account for 70-95% of end-to-end time")
+    return result

@@ -1,0 +1,108 @@
+"""Figure 1(a): the accuracy-speedup Pareto frontier.
+
+Normalized accuracy (vs dense) and speedup (vs HuggingFace) for the engine
+zoo on Llama2-7B @ RTX 4090: HF, FlashAttention, vLLM, AWQ, pruning
+(SparseGPT stand-in), EAGLE, SpecEE+HF/vLLM/AWQ/EAGLE.  The paper's claim:
+SpecEE points push the frontier forward (higher speedup at iso-accuracy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.baselines import DenseEngine
+from repro.baselines.prune import PrunedModelWrapper
+from repro.data import get_dataset, make_items
+from repro.eval import run_items
+from repro.eval.harness import EvalRun
+from repro.eval.reporting import ExperimentResult
+from repro.experiments.common import engine_factory, evaluate, get_scale, price, rig_for
+from repro.utils.mathx import geometric_mean
+
+__all__ = ["run"]
+
+_ACC_DATASET = "mmlu"
+_TPS_DATASET = "mt_bench"
+_MODEL = "llama2-7b"
+_DEVICE = "rtx4090"
+
+
+def _pruned_run(rig, spec, items, sc) -> EvalRun:
+    factory = lambda: DenseEngine(PrunedModelWrapper(rig.fresh_model()))
+    return run_items(factory, spec, items, engine_name="pruned",
+                     n_layers=rig.model.n_layers)
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    result = ExperimentResult(
+        experiment="fig01_pareto",
+        title="Accuracy vs speedup Pareto frontier, Llama2-7B @ RTX 4090 (Fig. 1a)",
+    )
+    rig = rig_for(_MODEL, None, sc, seed=seed)
+    rig_awq = rig_for(_MODEL, None, sc, flavor="awq", seed=seed)
+    acc_spec = get_dataset(_ACC_DATASET)
+    acc_items = make_items(acc_spec, rig.model.oracle, _MODEL,
+                           n_items=max(sc.n_items, 16), seed=seed)
+    acc_items_awq = make_items(acc_spec, rig_awq.model.oracle, _MODEL, flavor="awq",
+                               n_items=max(sc.n_items, 16), seed=seed)
+
+    # Accuracy per engine point.
+    def acc_of(kind: str, rig_, items) -> float:
+        factory = engine_factory(kind, rig_, sc, seed)
+        return run_items(factory, acc_spec, items, n_layers=rig_.model.n_layers).accuracy
+
+    dense_acc = acc_of("dense", rig, acc_items)
+    points: Dict[str, Tuple[float, float]] = {}  # name -> (norm accuracy, speedup)
+
+    # Throughput per engine point, all priced on the same decode workload.
+    base_run = evaluate("dense", rig, _TPS_DATASET, sc, seed)
+    specee_run = evaluate("specee", rig, _TPS_DATASET, sc, seed)
+    base_awq_run = evaluate("dense", rig_awq, _TPS_DATASET, sc, seed)
+    specee_awq_run = evaluate("specee", rig_awq, _TPS_DATASET, sc, seed)
+    hf_tps = price(base_run, _MODEL, _DEVICE, "hf").tokens_per_second
+
+    def add_point(name: str, run_, framework: str, accuracy: float) -> None:
+        tps = price(run_, _MODEL, _DEVICE, framework).tokens_per_second
+        points[name] = (accuracy / dense_acc, tps / hf_tps)
+
+    add_point("HF", base_run, "hf", dense_acc)
+    add_point("FlashAttention", base_run, "flashattention", dense_acc)
+    add_point("vLLM", base_run, "vllm", dense_acc)
+    add_point("AWQ", base_awq_run, "awq", acc_of("dense", rig_awq, acc_items_awq))
+    add_point("SpecEE+HF", specee_run, "hf", acc_of("specee", rig, acc_items))
+    add_point("SpecEE+vLLM", specee_run, "vllm", points["SpecEE+HF"][0] * dense_acc)
+    add_point("AWQ+SpecEE", specee_awq_run, "awq", acc_of("specee", rig_awq, acc_items_awq))
+
+    # Pruning point (SparseGPT stand-in).
+    pruned = _pruned_run(rig, acc_spec, acc_items, sc)
+    pruned_tps_run = _pruned_run(rig, get_dataset(_TPS_DATASET),
+                                 make_items(get_dataset(_TPS_DATASET), rig.model.oracle,
+                                            _MODEL, n_items=sc.n_items, seed=seed), sc)
+    pruned_framework_tps = price(pruned_tps_run, _MODEL, _DEVICE, "hf").tokens_per_second
+    points["SparseGPT"] = (pruned.accuracy / dense_acc,
+                           1.45 * pruned_framework_tps / hf_tps)  # 50% sparsity speedup
+
+    # EAGLE and SpecEE+EAGLE points (free-running throughput).
+    from repro.experiments.fig15_cloud_spec import _spec_run
+
+    eagle_tps = price(_spec_run("eagle", rig, sc, seed), _MODEL, _DEVICE, "hf").tokens_per_second
+    se_tps = price(_spec_run("specee_eagle", rig, sc, seed), _MODEL, _DEVICE, "hf").tokens_per_second
+    points["EAGLE"] = (1.0, eagle_tps / hf_tps)
+    points["SpecEE+EAGLE"] = (points["SpecEE+HF"][0], se_tps / hf_tps)
+
+    rows: List[List[object]] = [
+        [name, acc, spd] for name, (acc, spd) in sorted(points.items())
+    ]
+    result.add_table("pareto points", ["engine", "norm accuracy", "speedup vs HF"], rows)
+    result.headline["specee_hf_speedup"] = points["SpecEE+HF"][1]
+    result.headline["specee_eagle_speedup"] = points["SpecEE+EAGLE"][1]
+    result.headline["specee_norm_accuracy"] = points["SpecEE+HF"][0]
+    # Frontier property: SpecEE+EAGLE dominates every >=99% accuracy baseline.
+    best_baseline = max(spd for name, (acc, spd) in points.items()
+                        if "SpecEE" not in name and acc >= 0.99)
+    result.headline["frontier_push"] = points["SpecEE+EAGLE"][1] / best_baseline
+    result.notes.append("paper: SpecEE points extend the frontier past EAGLE/vLLM/AWQ")
+    return result

@@ -1,0 +1,87 @@
+"""Figure 8: design-space exploration of the predictor.
+
+Sweep the MLP depth (hidden dim fixed at 512) and the hidden dimension
+(depth fixed at 2): held-out accuracy and modelled execution time per
+configuration.  The paper's optimum — and ours — is the 2-layer, 512-hidden
+MLP: deeper/wider buys no accuracy but costs latency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import get_model_spec
+from repro.core.predictor import ExitPredictor
+from repro.core.predictor_training import harvest_training_corpus
+from repro.data.corpus import generate_prompts
+from repro.eval.reporting import ExperimentResult
+from repro.experiments.common import get_scale, rig_for
+from repro.hardware.latency import LatencyModel
+
+__all__ = ["run"]
+
+
+def _pooled(corpus, n_layers: int) -> Tuple[np.ndarray, np.ndarray]:
+    xs, ys = [], []
+    for layer in range(4, n_layers - 2):
+        x, y = corpus.layer_arrays(layer)
+        if len(y):
+            xs.append(x)
+            ys.append(y)
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+def _predictor_time_ms(hidden: int, depth: int) -> float:
+    """Modelled execution time on A100 (depth extra layers add GEMVs)."""
+    model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+    base = model.predictor_time(feature_dim=12, hidden=hidden)
+    extra = (depth - 1) * model.predictor_time(feature_dim=hidden, hidden=hidden)
+    return 1000.0 * (base + max(extra, 0.0))
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    rig = rig_for("llama2-7b", None, sc, seed=seed)
+    model = rig.fresh_model()
+    prompts = generate_prompts(sc.train_prompts, model.vocab_size, seed=seed + 77)
+    corpus = harvest_training_corpus(model, rig.speculator, prompts,
+                                     tokens_per_prompt=sc.train_tokens)
+    train, test = corpus.split(0.25, seed=seed)
+    x_train, y_train = _pooled(train, model.n_layers)
+    x_test, y_test = _pooled(test, model.n_layers)
+
+    def acc_for(hidden: int, depth: int) -> float:
+        clf = ExitPredictor(12, hidden_dim=hidden, depth=depth, seed=seed)
+        clf.fit(x_train, y_train, epochs=sc.epochs, seed=seed)
+        probs = clf.mlp.forward(x_test)
+        return float(np.mean((np.asarray(probs) >= 0.5) == (y_test > 0.5)))
+
+    result = ExperimentResult(
+        experiment="fig08_dse",
+        title="Predictor design-space exploration (Fig. 8)",
+    )
+    depths = [1, 2, 3, 4]
+    depth_rows: List[List[object]] = []
+    for depth in depths:
+        acc = acc_for(512 if sc.name != "small" else sc.predictor_hidden, depth)
+        depth_rows.append([depth, 100 * acc, _predictor_time_ms(512, depth)])
+    result.add_table("(a) layers sweep @ hidden 512",
+                     ["layers", "accuracy %", "time ms"], depth_rows)
+
+    hiddens = [64, 128, 256, 512, 1024]
+    hidden_rows: List[List[object]] = []
+    for hidden in hiddens:
+        acc = acc_for(hidden, 2)
+        hidden_rows.append([hidden, 100 * acc, _predictor_time_ms(hidden, 2)])
+    result.add_table("(b) hidden-dim sweep @ 2 layers",
+                     ["hidden", "accuracy %", "time ms"], hidden_rows)
+
+    acc_2x512 = next(r[1] for r in hidden_rows if r[0] == 512)
+    best_acc = max(r[1] for r in hidden_rows + depth_rows)
+    result.headline["acc_2layer_512"] = acc_2x512
+    result.headline["optimality_gap"] = best_acc - acc_2x512
+    result.headline["time_2layer_512_ms"] = _predictor_time_ms(512, 2)
+    result.notes.append("paper optimum: 2 layers x 512 hidden, ~93.5% accuracy")
+    return result

@@ -1,0 +1,90 @@
+"""Figure 14: cloud autoregressive decoding — speedup and throughput.
+
+Llama2-7B on RTX 4090 and A100, Llama2-13B on A100, Llama2-70B on 4xA100;
+engines HF, SpecEE+HF, vLLM, SpecEE+vLLM, AWQ, AWQ+SpecEE over the eight
+datasets of Sec. 7.1.3, with the Geo.Mean column the paper reports.
+
+Paper anchors: average SpecEE speedups of 1.43x/1.12x/1.13x (7B @ 4090 over
+HF/vLLM/AWQ), 1.27x/1.12x/1.09x (7B @ A100), 1.43x/1.14x/1.12x (13B) and
+1.23x/1.12x/1.12x (70B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.eval.reporting import ExperimentResult
+from repro.experiments.common import (
+    FIG14_DATASETS,
+    evaluate,
+    get_scale,
+    price,
+    rig_for,
+)
+from repro.utils.mathx import geometric_mean
+
+__all__ = ["run", "CONFIGS"]
+
+# (model, device, datasets restricted at small scale)
+CONFIGS: List[Tuple[str, str]] = [
+    ("llama2-7b", "rtx4090"),
+    ("llama2-7b", "a100-80g"),
+    ("llama2-13b", "a100-80g"),
+    ("llama2-70b", "4xa100-80g"),
+]
+
+_PAIRS = [  # (baseline framework, label), SpecEE is priced on the same stack
+    ("hf", "HF"),
+    ("vllm", "vLLM"),
+    ("awq", "AWQ"),
+]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    datasets = FIG14_DATASETS if sc.name != "small" else FIG14_DATASETS[:4]
+    configs = CONFIGS if sc.name != "small" else CONFIGS[:2]
+    result = ExperimentResult(
+        experiment="fig14_cloud_ar",
+        title="Cloud autoregressive decoding: speedup & throughput (Fig. 14)",
+    )
+    for model_name, device in configs:
+        rows = []
+        per_stack_speedups: Dict[str, List[float]] = {label: [] for _, label in _PAIRS}
+        rigs = {
+            "dense": rig_for(model_name, None, sc, flavor="dense", seed=seed),
+            "awq": rig_for(model_name, None, sc, flavor="awq", seed=seed),
+        }
+        for dataset in datasets:
+            row: List[object] = [dataset]
+            for framework, label in _PAIRS:
+                flavor = "awq" if framework == "awq" else "dense"
+                rig = rigs[flavor]
+                base = evaluate("dense", rig, dataset, sc, seed)
+                fast = evaluate("specee", rig, dataset, sc, seed)
+                base_tps = price(base, model_name, device, framework).tokens_per_second
+                fast_tps = price(fast, model_name, device, framework).tokens_per_second
+                speedup = fast_tps / base_tps
+                per_stack_speedups[label].append(speedup)
+                row.extend([base_tps, fast_tps, speedup])
+            rows.append(row)
+        geo_row: List[object] = ["Geo.Mean"]
+        for _, label in _PAIRS:
+            speedups = per_stack_speedups[label]
+            base_gm = geometric_mean([r[1 + 3 * i] for i, (_, l2) in enumerate(_PAIRS)
+                                      if l2 == label for r in rows])
+            fast_gm = geometric_mean([r[2 + 3 * i] for i, (_, l2) in enumerate(_PAIRS)
+                                      if l2 == label for r in rows])
+            gm = geometric_mean(speedups)
+            geo_row.extend([base_gm, fast_gm, gm])
+            result.headline[f"speedup_{label.lower()}_{model_name}_{device}"] = gm
+        rows.append(geo_row)
+        headers = ["dataset"]
+        for _, label in _PAIRS:
+            headers.extend([f"{label} tok/s", f"SpecEE+{label} tok/s", "speedup"])
+        result.add_table(f"{model_name} @ {device}", headers, rows)
+    result.notes.append(
+        "paper anchors: 1.43/1.12/1.13 (7B@4090), 1.27/1.12/1.09 (7B@A100), "
+        "1.43/1.14/1.12 (13B@A100), 1.23/1.12/1.12 (70B@4xA100)"
+    )
+    return result

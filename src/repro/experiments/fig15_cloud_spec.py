@@ -1,0 +1,64 @@
+"""Figure 15: speculative decoding — EAGLE vs SpecEE+EAGLE on A100.
+
+The paper reports 1.05x (Llama2-7B) and 1.06x (Llama2-13B) average speedup
+of SpecEE+EAGLE over EAGLE, with throughput around 120 tokens/s.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eval.reporting import ExperimentResult
+from repro.experiments.common import FIG14_DATASETS, get_scale, rig_for, price
+from repro.experiments.common import engine_factory
+from repro.eval.harness import EvalRun
+from repro.utils.mathx import geometric_mean
+
+__all__ = ["run"]
+
+
+def _spec_run(kind: str, rig, sc, dataset_seed: int) -> EvalRun:
+    """Free-running speculative decode over several prompts (tree engines
+    are throughput-only; multiple prompts bound the influence of any one
+    degenerate context)."""
+    run = EvalRun(dataset=str(dataset_seed), engine=kind)
+    n_prompts = 3
+    for j in range(n_prompts):
+        engine = engine_factory(kind, rig, sc)()
+        prompt = [3 + dataset_seed + 17 * j, 7 + j, 11]
+        result = engine.generate(prompt, sc.gen_tokens // n_prompts)
+        run.ledger.merge(result.ledger)
+    return run
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    models = ["llama2-7b", "llama2-13b"] if sc.name != "small" else ["llama2-7b"]
+    datasets = FIG14_DATASETS if sc.name != "small" else FIG14_DATASETS[:3]
+    result = ExperimentResult(
+        experiment="fig15_cloud_spec",
+        title="Speculative decoding: EAGLE vs SpecEE+EAGLE @ A100 (Fig. 15)",
+    )
+    for model_name in models:
+        rig = rig_for(model_name, None, sc, seed=seed)
+        rows: List[List[object]] = []
+        speedups: List[float] = []
+        for i, dataset in enumerate(datasets):
+            base = _spec_run("eagle", rig, sc, seed + i)
+            fast = _spec_run("specee_eagle", rig, sc, seed + i)
+            base_tps = price(base, model_name, "a100-80g", "hf").tokens_per_second
+            fast_tps = price(fast, model_name, "a100-80g", "hf").tokens_per_second
+            ratio = fast_tps / base_tps
+            speedups.append(ratio)
+            rows.append([dataset, base_tps, fast_tps, ratio])
+        gm = geometric_mean(speedups)
+        rows.append(["Geo.Mean",
+                     geometric_mean([r[1] for r in rows]),
+                     geometric_mean([r[2] for r in rows]), gm])
+        result.add_table(
+            f"{model_name} @ a100-80g",
+            ["dataset", "EAGLE tok/s", "SpecEE+EAGLE tok/s", "speedup"], rows,
+        )
+        result.headline[f"speedup_eagle_{model_name}"] = gm
+    result.notes.append("paper anchors: 1.05x (7B), 1.06x (13B)")
+    return result

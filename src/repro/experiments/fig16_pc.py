@@ -1,0 +1,61 @@
+"""Figure 16 + Fig. 2(d) PC waterfall: the laptop scenario.
+
+Llama2-7B on a Lenovo Legion (RTX 4060 Laptop 8 GB + i7-13650HX): SpecEE
+integrated into llama.cpp (partial CPU offload) and PowerInfer (hot/cold
+neuron split).  Paper anchors: 1.25x over llama.cpp, 1.15x over PowerInfer,
+and the SUM-dataset waterfall 5.63 -> 13.70 tokens/s (2.43x) with all
+techniques.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eval.reporting import ExperimentResult
+from repro.experiments.common import (
+    FIG16_DATASETS,
+    evaluate,
+    get_scale,
+    price,
+    rig_for,
+)
+from repro.utils.mathx import geometric_mean
+
+__all__ = ["run"]
+
+_DEVICE = "rtx4060-laptop"
+_CPU = "i7-13650hx"
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    datasets = FIG16_DATASETS if sc.name != "small" else FIG16_DATASETS[:3]
+    result = ExperimentResult(
+        experiment="fig16_pc",
+        title="PC scenario: llama.cpp and PowerInfer +/- SpecEE (Fig. 16)",
+    )
+    rig = rig_for("llama2-7b", None, sc, seed=seed)
+    for framework in ("llama.cpp", "powerinfer"):
+        rows: List[List[object]] = []
+        speedups: List[float] = []
+        for dataset in datasets:
+            base = evaluate("dense", rig, dataset, sc, seed)
+            fast = evaluate("specee", rig, dataset, sc, seed)
+            base_tps = price(base, "llama2-7b", _DEVICE, framework,
+                             cpu_device=_CPU).tokens_per_second
+            fast_tps = price(fast, "llama2-7b", _DEVICE, framework,
+                             cpu_device=_CPU).tokens_per_second
+            ratio = fast_tps / base_tps
+            speedups.append(ratio)
+            rows.append([dataset, base_tps, fast_tps, ratio])
+        gm = geometric_mean(speedups)
+        rows.append(["Geo.Mean", geometric_mean([r[1] for r in rows]),
+                     geometric_mean([r[2] for r in rows]), gm])
+        result.add_table(
+            f"llama2-7b @ {_DEVICE} ({framework})",
+            ["dataset", f"{framework} tok/s", f"SpecEE+{framework} tok/s", "speedup"],
+            rows,
+        )
+        result.headline[f"speedup_{framework}"] = gm
+    result.notes.append("paper anchors: 1.25x (llama.cpp), 1.15x (PowerInfer)")
+    return result

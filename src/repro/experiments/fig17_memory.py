@@ -1,0 +1,41 @@
+"""Figure 17: GPU memory usage during generation.
+
+HuggingFace vs SpecEE memory timelines for Llama2-7B and -13B.  SpecEE's
+overhead over the dense baseline is the EAGLE-style draft model (~0.9 GB for
+7B, ~1.4 GB for 13B); the 32 predictors total ~416 KB — negligible
+(Sec. 7.4.2).
+"""
+
+from __future__ import annotations
+
+from repro.config import get_model_spec
+from repro.core.predictor import PredictorBank
+from repro.eval.reporting import ExperimentResult
+from repro.hardware.memory import MemoryModel
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig17_memory",
+        title="GPU memory usage vs generated tokens (Fig. 17)",
+    )
+    for model_name, max_tokens in (("llama2-7b", 3000), ("llama2-13b", 2400)):
+        spec = get_model_spec(model_name)
+        bank = PredictorBank(spec.n_layers, feature_dim=12, hidden_dim=512, depth=2)
+        base = MemoryModel(spec)
+        specee = MemoryModel(spec, use_draft=True, predictor_params=bank.total_params)
+        base_tl = base.timeline(max_tokens)
+        specee_tl = specee.timeline(max_tokens)
+        result.add_series(
+            f"memory (GiB) vs tokens ({model_name})", "tokens", base_tl.tokens,
+            {"HuggingFace": base_tl.gib, "SpecEE": specee_tl.gib},
+        )
+        overhead = specee.overhead_vs(base)
+        result.headline[f"overhead_gib_{model_name}"] = overhead
+        result.headline[f"draft_gib_{model_name}"] = specee.draft_gib
+        result.headline[f"predictors_kib_{model_name}"] = specee.predictors_kib
+    result.notes.append("paper anchors: +0.9 GB (7B) and +1.4 GB (13B) from the "
+                        "draft model; all predictors ~416 KB for 7B")
+    return result

@@ -1,0 +1,77 @@
+"""Figure 19 + Fig. 2(d): the T1/T2/T3 ablation waterfall.
+
+Llama2-7B on A100 with HuggingFace as base: HF -> +T1 (speculation-based
+predictor, all layers) -> +T1+T2 (two-level scheduling) -> +T1+T2+T3
+(speculative decoding with merged mapping).  Paper anchors: ~1.08x after T1,
+~1.27x after T2, and 2.25x total (42.32 -> 95.21 tokens/s on MT-Bench).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.eval.harness import EvalRun
+from repro.eval.reporting import ExperimentResult
+from repro.experiments.common import (
+    FIG14_DATASETS,
+    engine_factory,
+    evaluate,
+    get_scale,
+    price,
+    rig_for,
+)
+from repro.utils.mathx import geometric_mean
+
+__all__ = ["run"]
+
+_STAGES = ["HF", "HF+T1", "HF+T1+T2", "HF+T1+T2+T3"]
+
+
+def _tree_run(rig, sc, seed) -> EvalRun:
+    run = EvalRun(dataset="freerun", engine="specee_eagle")
+    for j in range(3):
+        engine = engine_factory("specee_eagle", rig, sc)()
+        result = engine.generate([5 + seed + 17 * j, 9 + j, 2], sc.gen_tokens // 3)
+        run.ledger.merge(result.ledger)
+    return run
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    datasets = FIG14_DATASETS if sc.name != "small" else FIG14_DATASETS[:3]
+    result = ExperimentResult(
+        experiment="fig19_ablation",
+        title="Ablation of T1/T2/T3, Llama2-7B @ A100, HF base (Fig. 19 / Fig. 2d)",
+    )
+    rig = rig_for("llama2-7b", None, sc, seed=seed)
+    per_stage: Dict[str, List[float]] = {s: [] for s in _STAGES}
+    rows: List[List[object]] = []
+    for i, dataset in enumerate(datasets):
+        base = price(evaluate("dense", rig, dataset, sc, seed),
+                     "llama2-7b", "a100-80g", "hf").tokens_per_second
+        t1 = price(evaluate("specee_t1", rig, dataset, sc, seed),
+                   "llama2-7b", "a100-80g", "hf").tokens_per_second
+        t2 = price(evaluate("specee", rig, dataset, sc, seed),
+                   "llama2-7b", "a100-80g", "hf").tokens_per_second
+        t3 = price(_tree_run(rig, sc, seed + i),
+                   "llama2-7b", "a100-80g", "hf").tokens_per_second
+        for stage, tps in zip(_STAGES, (base, t1, t2, t3)):
+            per_stage[stage].append(tps)
+        rows.append([dataset, base, t1 / base, t2 / base, t3 / base])
+    geo = {s: geometric_mean(v) for s, v in per_stage.items()}
+    rows.append(["Geo.Mean", geo["HF"], geo["HF+T1"] / geo["HF"],
+                 geo["HF+T1+T2"] / geo["HF"], geo["HF+T1+T2+T3"] / geo["HF"]])
+    result.add_table(
+        "speedup over HF per technique stage",
+        ["dataset", "HF tok/s", "+T1", "+T1+T2", "+T1+T2+T3"], rows,
+    )
+    result.headline["speedup_t1"] = geo["HF+T1"] / geo["HF"]
+    result.headline["speedup_t1_t2"] = geo["HF+T1+T2"] / geo["HF"]
+    result.headline["speedup_total"] = geo["HF+T1+T2+T3"] / geo["HF"]
+    result.headline["hf_tps"] = geo["HF"]
+    result.headline["specee_tps"] = geo["HF+T1+T2+T3"]
+    result.notes.append(
+        "paper anchors: +T1 ~1.08-1.12x, +T2 ~1.27x cumulative, total 2.25x "
+        "(42.32 -> 95.21 tok/s on MT-Bench)"
+    )
+    return result

@@ -1,0 +1,36 @@
+"""Tables 2-3: hardware platforms and model configurations.
+
+Registry dumps, so benchmark reports carry the same context the paper's
+setup section does.
+"""
+
+from __future__ import annotations
+
+from repro.config import MODELS
+from repro.eval.reporting import ExperimentResult
+from repro.hardware.devices import DEVICES
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="table02_03_configs",
+        title="Hardware platforms and model configurations (Tables 2-3)",
+    )
+    result.add_table(
+        "hardware platforms (Table 2)",
+        ["device", "kind", "fp16 TFLOPS", "mem GB/s", "TDP W", "VRAM GB"],
+        [[d.name, d.kind, d.fp16_tflops, d.mem_bw_gbps, d.tdp_w, d.vram_gb]
+         for d in DEVICES.values()],
+    )
+    result.add_table(
+        "model configurations (Table 3)",
+        ["model", "dim", "heads", "layers", "context", "params (B)"],
+        [[m.name, m.hidden_dim, m.n_heads, m.n_layers, m.context_length,
+          m.total_params / 1e9]
+         for m in MODELS.values()],
+    )
+    result.headline["n_devices"] = float(len(DEVICES))
+    result.headline["n_models"] = float(len(MODELS))
+    return result

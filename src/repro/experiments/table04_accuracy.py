@@ -1,0 +1,68 @@
+"""Table 4: accuracy / perplexity / average forward layers.
+
+Dense, AdaInfer, SpecEE, AWQ and AWQ+SpecEE over seven datasets for
+Llama2-7B/13B/70B.  Paper anchors: SpecEE accuracy within 1% of dense at
+~23/32 (7B), ~25/40 (13B) and ~50-57/80 (70B) average forward layers;
+AdaInfer loses several points (0.0 on GSM8K).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.eval.reporting import ExperimentResult
+from repro.experiments.common import TABLE4_DATASETS, evaluate, get_scale, rig_for
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    models = ["llama2-7b", "llama2-13b", "llama2-70b"] if sc.name != "small" else ["llama2-7b"]
+    datasets = TABLE4_DATASETS if sc.name != "small" else ["mmlu", "gsm8k", "sum"]
+    result = ExperimentResult(
+        experiment="table04_accuracy",
+        title="Accuracy / PPL / average forward layers (Table 4)",
+    )
+    for model_name in models:
+        rigs = {
+            "dense": rig_for(model_name, None, sc, flavor="dense", seed=seed),
+            "awq": rig_for(model_name, None, sc, flavor="awq", seed=seed),
+        }
+        engines = [
+            ("Dense", "dense", "dense"),
+            ("AdaInfer", "adainfer", "dense"),
+            ("SpecEE", "specee", "dense"),
+            ("AWQ", "dense", "awq"),
+            ("AWQ+SpecEE", "specee", "awq"),
+        ]
+        rows: List[List[object]] = []
+        acc_dense: dict = {}
+        acc_specee: dict = {}
+        for label, kind, flavor in engines:
+            row: List[object] = [label]
+            for dataset in datasets:
+                run_ = evaluate(kind, rigs[flavor], dataset, sc, seed)
+                metric = run_.accuracy if not np.isnan(run_.accuracy) else run_.ppl
+                row.extend([metric, run_.avg_layers])
+                if label == "Dense":
+                    acc_dense[dataset] = metric
+                if label == "SpecEE":
+                    acc_specee[dataset] = metric
+                    result.headline[f"specee_layers_{model_name}_{dataset}"] = run_.avg_layers
+            rows.append(row)
+        headers = ["engine"]
+        for dataset in datasets:
+            headers.extend([f"{dataset} acc/ppl", "#Avg.L"])
+        result.add_table(f"{model_name}", headers, rows)
+        # Headline: worst accuracy degradation of SpecEE vs dense on
+        # classification datasets (paper: < 1 point).
+        deltas = [abs(acc_specee[d] - acc_dense[d]) for d in datasets
+                  if d in ("mmlu", "csqa", "sst2", "gsm8k") and d in acc_specee]
+        if deltas:
+            result.headline[f"max_acc_delta_{model_name}"] = float(max(deltas))
+    result.notes.append("paper anchors: SpecEE within ~1 point of dense; "
+                        "avg layers ~23/32 (7B), ~25/40 (13B), ~50-57/80 (70B)")
+    return result

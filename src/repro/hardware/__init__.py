@@ -1,0 +1,33 @@
+"""Hardware modelling: devices, framework profiles, cost ledger, latency,
+energy and memory models.
+
+Engines are hardware-agnostic — they record *cost events* (which ops ran, at
+which sizes) into a :class:`~repro.hardware.ledger.CostLedger`; the models in
+this package price a ledger for a (model, device, framework) triple.  This
+decouples algorithm execution from hardware pricing: one decode trace can be
+priced for an A100 and for a laptop 4060 without re-running (DESIGN.md §4).
+"""
+
+from repro.hardware.devices import DEVICES, DeviceSpec, get_device
+from repro.hardware.frameworks import FRAMEWORKS, FrameworkProfile, get_framework
+from repro.hardware.ledger import CostLedger, Event
+from repro.hardware.latency import LatencyBreakdown, LatencyModel
+from repro.hardware.energy import EnergyModel, EnergyReport
+from repro.hardware.memory import MemoryModel, MemoryTimeline
+
+__all__ = [
+    "CostLedger",
+    "DEVICES",
+    "DeviceSpec",
+    "EnergyModel",
+    "EnergyReport",
+    "Event",
+    "FRAMEWORKS",
+    "FrameworkProfile",
+    "LatencyBreakdown",
+    "LatencyModel",
+    "MemoryModel",
+    "MemoryTimeline",
+    "get_device",
+    "get_framework",
+]

@@ -1,0 +1,89 @@
+"""Device specifications (paper Table 2).
+
+Numbers are public datasheet values; the latency model derates them with
+framework efficiency factors, so absolute throughput is calibrated at the
+*baseline* (e.g. HuggingFace Llama2-7B on A100 ~= 42 tokens/s) and every
+comparison inherits consistent physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DeviceSpec", "DEVICES", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Compute device (GPU or CPU) roofline parameters."""
+
+    name: str
+    kind: str  # "gpu" | "cpu"
+    fp16_tflops: float        # dense fp16 tensor throughput
+    mem_bw_gbps: float        # peak DRAM/HBM bandwidth
+    kernel_overhead_us: float  # per-kernel launch/dispatch latency
+    tdp_w: float              # board/package power limit
+    idle_w: float             # idle power draw
+    vram_gb: float = 0.0      # device memory (0 = host memory, not enforced)
+
+    def __post_init__(self) -> None:
+        if self.fp16_tflops <= 0 or self.mem_bw_gbps <= 0:
+            raise ValueError("throughput parameters must be positive")
+        if self.kind not in {"gpu", "cpu"}:
+            raise ValueError(f"unknown device kind {self.kind!r}")
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.mem_bw_gbps * 1e9
+
+    @property
+    def flops_per_second(self) -> float:
+        return self.fp16_tflops * 1e12
+
+
+DEVICES: Dict[str, DeviceSpec] = {
+    # Cloud scenario (Table 2).
+    "a100-80g": DeviceSpec(
+        name="a100-80g", kind="gpu", fp16_tflops=312.0, mem_bw_gbps=2039.0,
+        kernel_overhead_us=5.0, tdp_w=400.0, idle_w=60.0, vram_gb=80.0,
+    ),
+    "rtx4090": DeviceSpec(
+        name="rtx4090", kind="gpu", fp16_tflops=330.0, mem_bw_gbps=1008.0,
+        kernel_overhead_us=4.0, tdp_w=450.0, idle_w=25.0, vram_gb=24.0,
+    ),
+    # A 4x tensor-parallel A100 node for Llama2-70B (Fig. 14d): bandwidth
+    # scales across shards, with a parallel-efficiency derate and higher
+    # per-kernel overhead from collectives.
+    "4xa100-80g": DeviceSpec(
+        name="4xa100-80g", kind="gpu", fp16_tflops=4 * 312.0 * 0.82,
+        mem_bw_gbps=4 * 2039.0 * 0.82, kernel_overhead_us=14.0,
+        tdp_w=1600.0, idle_w=240.0, vram_gb=320.0,
+    ),
+    # PC scenario.
+    "rtx4060-laptop": DeviceSpec(
+        name="rtx4060-laptop", kind="gpu", fp16_tflops=44.0, mem_bw_gbps=256.0,
+        kernel_overhead_us=7.0, tdp_w=115.0, idle_w=10.0, vram_gb=8.0,
+    ),
+    # Host CPUs.
+    "xeon-8358": DeviceSpec(
+        name="xeon-8358", kind="cpu", fp16_tflops=2.6, mem_bw_gbps=205.0,
+        kernel_overhead_us=0.5, tdp_w=250.0, idle_w=90.0,
+    ),
+    "epyc-7542": DeviceSpec(
+        name="epyc-7542", kind="cpu", fp16_tflops=2.3, mem_bw_gbps=205.0,
+        kernel_overhead_us=0.5, tdp_w=225.0, idle_w=85.0,
+    ),
+    "i7-13650hx": DeviceSpec(
+        name="i7-13650hx", kind="cpu", fp16_tflops=1.1, mem_bw_gbps=77.0,
+        kernel_overhead_us=0.5, tdp_w=55.0, idle_w=12.0,
+    ),
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    try:
+        return DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICES))
+        raise KeyError(f"unknown device {name!r}; known: {known}") from None

@@ -1,0 +1,86 @@
+"""Utilization-based power/energy model (paper Sec. 7.3).
+
+Each event class drives the device at a characteristic *intensity* — the
+fraction of dynamic power it sustains.  Decoder layers keep HBM and tensor
+pipes busy; the lightweight predictor is a memory-bound trickle that leaves
+most CUDA cores idle (the paper measures ~142 W during predictor execution
+on a 400 W A100 vs ~201 W during dense decoding).  Average power is the
+time-weighted mix, so SpecEE's power drop *emerges* from its ledger: fewer
+layer-seconds, a few predictor-seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.devices import DeviceSpec
+from repro.hardware.latency import LatencyBreakdown
+from repro.hardware.ledger import Event
+
+__all__ = ["EnergyReport", "EnergyModel", "EVENT_INTENSITY"]
+
+# Fraction of (TDP - idle) dynamic power each event class sustains.
+EVENT_INTENSITY: Dict[str, float] = {
+    Event.PREFILL_LAYER: 0.80,       # compute-bound GEMMs
+    Event.DECODER_LAYER: 0.42,       # bandwidth-bound decode GEMVs
+    Event.TREE_VERIFY_LAYER: 0.50,   # small-batch GEMMs
+    Event.LM_HEAD_FULL: 0.45,
+    Event.LM_HEAD_SLICE: 0.15,
+    Event.PREDICTOR: 0.24,           # ~142 W on A100 (Sec. 7.3.2)
+    Event.SVM_PREDICT: 0.15,
+    Event.FEATURE_STATS: 0.30,
+    Event.DRAFT_STEP: 0.30,
+    Event.RETRIEVAL: 0.35,
+    Event.KV_FILL: 0.12,
+    Event.TREE_FEATURE_GEMM: 0.30,
+}
+_DEFAULT_INTENSITY = 0.35
+
+
+@dataclass
+class EnergyReport:
+    """Energy and average power over one priced run."""
+
+    energy_j: float
+    avg_power_w: float
+    duration_s: float
+    tokens_generated: int
+
+    @property
+    def tokens_per_joule(self) -> float:
+        if self.energy_j <= 0:
+            return float("nan")
+        return self.tokens_generated / self.energy_j
+
+    @property
+    def energy_per_token_j(self) -> float:
+        if self.tokens_generated == 0:
+            return float("nan")
+        return self.energy_j / self.tokens_generated
+
+
+class EnergyModel:
+    """Integrates power over a latency breakdown."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    def power_during(self, kind: str) -> float:
+        intensity = EVENT_INTENSITY.get(kind, _DEFAULT_INTENSITY)
+        return self.device.idle_w + intensity * (self.device.tdp_w - self.device.idle_w)
+
+    def report(self, latency: LatencyBreakdown) -> EnergyReport:
+        energy = 0.0
+        accounted = 0.0
+        for kind, seconds in latency.per_event_s.items():
+            energy += seconds * self.power_during(kind)
+            accounted += seconds
+        # Framework overhead time (dispatch, python) draws near-idle power.
+        residual = max(latency.total_s - accounted, 0.0)
+        energy += residual * (self.device.idle_w + 0.10 * (self.device.tdp_w - self.device.idle_w))
+        avg_power = energy / latency.total_s if latency.total_s > 0 else float("nan")
+        return EnergyReport(
+            energy_j=energy, avg_power_w=avg_power,
+            duration_s=latency.total_s, tokens_generated=latency.tokens_generated,
+        )

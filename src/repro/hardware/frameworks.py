@@ -1,0 +1,98 @@
+"""Framework execution profiles.
+
+A framework profile captures *how well* an inference stack realises the
+device roofline during single-stream decoding: achieved-bandwidth fraction,
+per-layer dispatch overhead, per-token runtime overhead, weight storage
+width, batched-verify FLOP sensitivity, and (for the PC stacks) GPU/CPU
+weight placement.  Baseline profiles are calibrated once against the paper's
+reported baseline throughputs (EXPERIMENTS.md records the calibration); all
+SpecEE-side numbers then follow from the ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+__all__ = ["FrameworkProfile", "FRAMEWORKS", "get_framework"]
+
+
+@dataclass(frozen=True)
+class FrameworkProfile:
+    """Efficiency profile of one serving stack on one device class."""
+
+    name: str
+    bw_efficiency: float          # achieved fraction of peak memory bandwidth
+    flop_efficiency: float        # achieved fraction of peak tensor FLOPs
+    layer_overhead_us: float      # dispatch overhead per decoder layer
+    token_overhead_us: float      # runtime overhead per emitted token
+    weight_bytes_per_param: float = 2.0   # fp16 by default; 0.56 ~= q4 + scales
+    batch_flop_share: float = 0.08       # marginal cost per extra verify token
+    gpu_weight_fraction: float = 1.0      # <1.0 = partial CPU offload
+    cpu_bw_efficiency: float = 0.6        # for the offloaded fraction
+    draft_bw_efficiency: Optional[float] = None  # draft model stream (defaults to bw)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bw_efficiency <= 1.0:
+            raise ValueError("bw_efficiency must lie in (0, 1]")
+        if not 0.0 < self.gpu_weight_fraction <= 1.0:
+            raise ValueError("gpu_weight_fraction must lie in (0, 1]")
+
+    @property
+    def draft_efficiency(self) -> float:
+        return self.draft_bw_efficiency if self.draft_bw_efficiency is not None else self.bw_efficiency
+
+    def with_overrides(self, **kwargs) -> "FrameworkProfile":
+        return replace(self, **kwargs)
+
+
+FRAMEWORKS: Dict[str, FrameworkProfile] = {
+    # HuggingFace transformers: eager kernels, python dispatch.  Calibrated to
+    # ~42 tokens/s for Llama2-7B fp16 on A100 (paper Fig. 2d).
+    "hf": FrameworkProfile(
+        name="hf", bw_efficiency=0.50, flop_efficiency=0.35,
+        layer_overhead_us=280.0, token_overhead_us=2000.0,
+    ),
+    # vLLM: paged attention, CUDA graphs - much lower dispatch overhead.
+    "vllm": FrameworkProfile(
+        name="vllm", bw_efficiency=0.68, flop_efficiency=0.45,
+        layer_overhead_us=60.0, token_overhead_us=900.0,
+    ),
+    # AWQ int4 in the HF harness: 4-bit weights + scales, dequant cost eats
+    # some of the bandwidth win.
+    "awq": FrameworkProfile(
+        name="awq", bw_efficiency=0.42, flop_efficiency=0.35,
+        layer_overhead_us=280.0, token_overhead_us=2000.0,
+        weight_bytes_per_param=0.56,
+    ),
+    # FlashAttention on the HF harness (Fig. 1a point): faster attention
+    # kernels trim per-layer overhead slightly; decode stays weight-bound.
+    "flashattention": FrameworkProfile(
+        name="flashattention", bw_efficiency=0.53, flop_efficiency=0.50,
+        layer_overhead_us=240.0, token_overhead_us=1800.0,
+    ),
+    # llama.cpp on the 8 GB laptop 4060: fp16 does not fit, so a fraction of
+    # layers lives on the CPU; q4 quantisation is the norm, but the paper's
+    # baseline runs fp16 GGUF - we model their measured operating point with
+    # partial offload.
+    "llama.cpp": FrameworkProfile(
+        name="llama.cpp", bw_efficiency=0.72, flop_efficiency=0.30,
+        layer_overhead_us=80.0, token_overhead_us=1500.0,
+        gpu_weight_fraction=0.50, cpu_bw_efficiency=0.55,
+    ),
+    # PowerInfer: hot-neuron weights resident on GPU, cold neurons on CPU with
+    # activation sparsity skipping most cold-neuron work.
+    "powerinfer": FrameworkProfile(
+        name="powerinfer", bw_efficiency=0.72, flop_efficiency=0.30,
+        layer_overhead_us=110.0, token_overhead_us=1800.0,
+        gpu_weight_fraction=0.80, cpu_bw_efficiency=0.55,
+    ),
+}
+
+
+def get_framework(name: str) -> FrameworkProfile:
+    try:
+        return FRAMEWORKS[name]
+    except KeyError:
+        known = ", ".join(sorted(FRAMEWORKS))
+        raise KeyError(f"unknown framework {name!r}; known: {known}") from None

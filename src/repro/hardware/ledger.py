@@ -1,0 +1,106 @@
+"""Cost-event ledger.
+
+Engines record every hardware-relevant operation they execute — decoder
+layers, LM-head projections (full and sliced), predictor forwards, draft
+steps, tree verifications, retrievals — as named events with a call count
+and a unit count (units capture size-dependence, e.g. tokens in a batched
+tree-verify layer or columns in a sliced LM head).  The latency/energy models
+price ledgers; experiments diff them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping
+
+__all__ = ["Event", "CostLedger"]
+
+
+# Canonical event kinds (string constants keep ledgers serialisable).
+class Event:
+    """Namespace of event-kind constants."""
+
+    PREFILL_LAYER = "prefill_layer"          # units = prompt tokens
+    DECODER_LAYER = "decoder_layer"          # one token through one layer
+    LM_HEAD_FULL = "lm_head_full"            # full-vocabulary projection
+    LM_HEAD_SLICE = "lm_head_slice"          # units = columns (spec tokens)
+    PREDICTOR = "predictor_forward"          # lightweight MLP forward
+    SVM_PREDICT = "svm_predict"              # AdaInfer's classifier
+    FEATURE_STATS = "feature_stats"          # AdaInfer full-vocab feature pass
+    DRAFT_STEP = "draft_step"                # draft model autoregressive step
+    TREE_VERIFY_LAYER = "tree_verify_layer"  # units = tree tokens in the batch
+    TREE_FEATURE_GEMM = "tree_feature_gemm"  # grouped GEMM over tree (units = tokens)
+    RETRIEVAL = "retrieval_lookup"           # RAEE database kNN
+    KV_FILL = "kv_fill"                      # early-exit KV propagation (units = layers)
+    ALL = (
+        PREFILL_LAYER, DECODER_LAYER, LM_HEAD_FULL, LM_HEAD_SLICE, PREDICTOR,
+        SVM_PREDICT, FEATURE_STATS, DRAFT_STEP, TREE_VERIFY_LAYER,
+        TREE_FEATURE_GEMM, RETRIEVAL, KV_FILL,
+    )
+
+
+@dataclass
+class _Entry:
+    calls: float = 0.0
+    units: float = 0.0
+
+
+@dataclass
+class CostLedger:
+    """Accumulator of cost events plus headline decode statistics."""
+
+    _entries: Dict[str, _Entry] = field(default_factory=dict)
+    tokens_generated: int = 0
+    prompt_tokens: int = 0
+    steps: int = 0  # host-loop iterations (== tokens for AR, < tokens for trees)
+
+    def add(self, kind: str, calls: float = 1.0, units: float | None = None) -> None:
+        if kind not in Event.ALL:
+            raise ValueError(f"unknown event kind {kind!r}")
+        entry = self._entries.setdefault(kind, _Entry())
+        entry.calls += calls
+        entry.units += units if units is not None else calls
+
+    def calls(self, kind: str) -> float:
+        return self._entries.get(kind, _Entry()).calls
+
+    def units(self, kind: str) -> float:
+        return self._entries.get(kind, _Entry()).units
+
+    def kinds(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    # -- combinators ----------------------------------------------------------
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        """Accumulate ``other`` into ``self`` (returns self for chaining)."""
+        for kind, entry in other._entries.items():
+            mine = self._entries.setdefault(kind, _Entry())
+            mine.calls += entry.calls
+            mine.units += entry.units
+        self.tokens_generated += other.tokens_generated
+        self.prompt_tokens += other.prompt_tokens
+        self.steps += other.steps
+        return self
+
+    def copy(self) -> "CostLedger":
+        out = CostLedger()
+        out.merge(self)
+        return out
+
+    # -- derived statistics ------------------------------------------------------
+    @property
+    def decoder_layers_per_token(self) -> float:
+        """Average executed decoder layers per generated token — the paper's
+        '#Avg. L' column (Table 4).  Tree-verify layers count their batch
+        once (one forward serves all tree tokens)."""
+        if self.tokens_generated == 0:
+            return float("nan")
+        layers = self.calls(Event.DECODER_LAYER) + self.calls(Event.TREE_VERIFY_LAYER)
+        return layers / self.tokens_generated
+
+    def as_dict(self) -> Mapping[str, Dict[str, float]]:
+        return {k: {"calls": e.calls, "units": e.units} for k, e in self._entries.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={e.calls:.0f}" for k, e in sorted(self._entries.items()))
+        return f"CostLedger(tokens={self.tokens_generated}, {inner})"

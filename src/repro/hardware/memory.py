@@ -1,0 +1,104 @@
+"""GPU memory model (paper Sec. 7.4.2, Fig. 17).
+
+Memory during generation is weights + activations + a KV cache growing
+linearly with emitted tokens, plus SpecEE's additions: the EAGLE-style draft
+head (~0.9 GB for 7B, ~1.4 GB for 13B — the dominant overhead) and the
+predictor bank (~416 KB for Llama2-7B: 32 MLPs of 12x512+512x1 fp32
+parameters — negligible).  RAEE's retrieval database is also modelled for
+the Table 1 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import ModelSpec
+from repro.hardware.latency import DRAFT_LAYER_EQUIVALENT
+
+__all__ = ["MemoryModel", "MemoryTimeline"]
+
+_GIB = 1024.0**3
+
+
+@dataclass
+class MemoryTimeline:
+    """Memory usage (GiB) as a function of generated tokens."""
+
+    tokens: List[int] = field(default_factory=list)
+    gib: List[float] = field(default_factory=list)
+
+    def final(self) -> float:
+        return self.gib[-1] if self.gib else float("nan")
+
+
+class MemoryModel:
+    """Sums the memory components of one engine configuration."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        weight_bytes_per_param: float = 2.0,
+        use_draft: bool = False,
+        predictor_params: int = 0,
+        raee_db_bytes: float = 0.0,
+        activation_overhead_gib: float = 0.6,
+    ):
+        self.model = model
+        self.weight_bytes_per_param = weight_bytes_per_param
+        self.use_draft = use_draft
+        self.predictor_params = predictor_params
+        self.raee_db_bytes = raee_db_bytes
+        self.activation_overhead_gib = activation_overhead_gib
+
+    @property
+    def weights_gib(self) -> float:
+        return self.model.total_params * self.weight_bytes_per_param / _GIB
+
+    @property
+    def draft_gib(self) -> float:
+        if not self.use_draft:
+            return 0.0
+        return DRAFT_LAYER_EQUIVALENT * self.model.layer_params * 2.0 / _GIB
+
+    @property
+    def predictors_gib(self) -> float:
+        return self.predictor_params * 2.0 / _GIB  # fp16 MLPs (paper Sec. 7.4.2)
+
+    @property
+    def predictors_kib(self) -> float:
+        return self.predictor_params * 2.0 / 1024.0
+
+    @property
+    def raee_db_gib(self) -> float:
+        return self.raee_db_bytes / _GIB
+
+    def kv_gib(self, tokens: int) -> float:
+        return tokens * self.model.kv_bytes_per_token() / _GIB
+
+    def usage_gib(self, tokens: int, prompt_tokens: int = 0) -> float:
+        """Total usage after emitting ``tokens`` (prompt KV included)."""
+        return (
+            self.weights_gib
+            + self.draft_gib
+            + self.predictors_gib
+            + self.raee_db_gib
+            + self.activation_overhead_gib
+            + self.kv_gib(tokens + prompt_tokens)
+        )
+
+    def timeline(
+        self, max_tokens: int, points: int = 30, prompt_tokens: int = 64
+    ) -> MemoryTimeline:
+        """Fig. 17 series: usage vs generated tokens."""
+        timeline = MemoryTimeline()
+        for t in np.linspace(0, max_tokens, points).astype(int):
+            timeline.tokens.append(int(t))
+            timeline.gib.append(self.usage_gib(int(t), prompt_tokens))
+        return timeline
+
+    def overhead_vs(self, baseline: "MemoryModel") -> float:
+        """Extra GiB relative to ``baseline`` at zero generated tokens."""
+        return self.usage_gib(0) - baseline.usage_gib(0)

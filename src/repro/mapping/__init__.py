@@ -1,0 +1,14 @@
+"""T3 machinery: token trees, hyper-token merged mapping, grouped GEMM."""
+
+from repro.mapping.grouped_gemm import GroupSpec, grouped_gemm, tree_children_logits
+from repro.mapping.hyper_token import HyperToken, merged_mapping
+from repro.mapping.tree import greedy_accept
+
+__all__ = [
+    "GroupSpec",
+    "HyperToken",
+    "greedy_accept",
+    "grouped_gemm",
+    "merged_mapping",
+    "tree_children_logits",
+]

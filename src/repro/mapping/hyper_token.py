@@ -1,0 +1,87 @@
+"""Context-aware merged mapping (paper Sec. 6.2).
+
+Treating every tree node as an independent predictor search space makes the
+joint mapping complexity the *product* of per-node complexities.  The merged
+mapping collapses each root-to-leaf path into one **hyper-token**: the path
+exits when its *rearmost-saturating* member does (the Cannikin/bucket law),
+and context similarity along a path keeps that bottleneck close to the
+front-runner, so merging costs little depth.
+
+Feature aggregation follows the bottleneck semantics: per speculative slot,
+the hyper-token's logits/probabilities are the element-wise minimum over the
+path's member nodes of their (descending-sorted, padded) per-node features —
+the least-saturated member dominates the decision, which is exactly the exit
+rule the Cannikin law dictates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.draft import DraftTree
+
+__all__ = ["HyperToken", "merged_mapping", "aggregate_path_logits"]
+
+
+@dataclass(frozen=True)
+class HyperToken:
+    """One merged path: node indices from root-child to leaf."""
+
+    nodes: Tuple[int, ...]
+    tokens: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def merged_mapping(tree: DraftTree) -> List[HyperToken]:
+    """Merge every root-to-leaf path of ``tree`` into a hyper-token.
+
+    The number of hyper-tokens is the number of leaves — linear in tree size
+    — versus the exponential product mapping of per-node predictors.
+    """
+    out: List[HyperToken] = []
+    for path in tree.paths():
+        out.append(HyperToken(
+            nodes=tuple(path),
+            tokens=tuple(tree.tokens[i] for i in path),
+        ))
+    return out
+
+
+def aggregate_path_logits(
+    per_node_logits: Sequence[np.ndarray],
+    hyper: HyperToken,
+    k: int,
+    include_root: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Bottleneck-aggregate sliced logits along a hyper-token's path.
+
+    ``per_node_logits[i]`` holds node ``i``'s logits over its own children
+    (variable length; empty for leaves).  Each contributing vector is sorted
+    descending and padded with the minimum observed value to length ``k``;
+    the aggregate is the element-wise minimum across contributors — the
+    least-confident member of the path gates the hyper-token's exit.
+    ``include_root`` optionally adds the committed-context position's logits.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    contributors: List[np.ndarray] = []
+    if include_root is not None and len(include_root):
+        contributors.append(np.asarray(include_root, dtype=np.float64))
+    for node in hyper.nodes:
+        logits = np.asarray(per_node_logits[node], dtype=np.float64)
+        if len(logits):
+            contributors.append(logits)
+    if not contributors:
+        raise ValueError("hyper-token has no contributing logits")
+    padded = np.full((len(contributors), k), np.inf)
+    for row, logits in enumerate(contributors):
+        ordered = np.sort(logits)[::-1][:k]
+        padded[row, : len(ordered)] = ordered
+        if len(ordered) < k:
+            padded[row, len(ordered):] = ordered.min()
+    return padded.min(axis=0)

@@ -1,0 +1,61 @@
+"""Tree-verification helpers shared by EAGLE and SpecEE+EAGLE.
+
+Greedy speculative verification walks the draft tree from the root: at each
+accepted node the target model's (argmax) output selects which child — if
+any — is accepted next; the last accepted node's output is emitted as the
+*bonus* token, so every verify forward yields ``accepted + 1`` tokens.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Sequence
+
+from repro.model.draft import DraftTree
+
+__all__ = ["AcceptResult", "greedy_accept"]
+
+
+class AcceptResult(NamedTuple):
+    """Outcome of greedy tree verification."""
+
+    accepted_nodes: List[int]   # node indices along the accepted path
+    accepted_tokens: List[int]  # their draft tokens
+    bonus_token: int            # target-model output after the accepted path
+
+    @property
+    def tokens(self) -> List[int]:
+        return self.accepted_tokens + [self.bonus_token]
+
+
+def greedy_accept(
+    tree: DraftTree,
+    root_output: int,
+    node_outputs: Sequence[int],
+) -> AcceptResult:
+    """Walk the tree accepting children that match the model's outputs.
+
+    ``root_output`` is the model's argmax at the committed-context position;
+    ``node_outputs[i]`` its argmax at tree node ``i``.
+    """
+    if len(node_outputs) != len(tree):
+        raise ValueError(
+            f"node_outputs length {len(node_outputs)} != tree size {len(tree)}"
+        )
+    accepted_nodes: List[int] = []
+    accepted_tokens: List[int] = []
+    current_parent = -1
+    expected = int(root_output)
+    while True:
+        children = [i for i, p in enumerate(tree.parents) if p == current_parent]
+        match = next((i for i in children if tree.tokens[i] == expected), None)
+        if match is None:
+            break
+        accepted_nodes.append(match)
+        accepted_tokens.append(tree.tokens[match])
+        expected = int(node_outputs[match])
+        current_parent = match
+    return AcceptResult(
+        accepted_nodes=accepted_nodes,
+        accepted_tokens=accepted_tokens,
+        bonus_token=expected,
+    )

@@ -1,0 +1,34 @@
+"""Semantic LLM substrate.
+
+The engines in :mod:`repro.core` and :mod:`repro.baselines` drive any model
+implementing the :class:`~repro.model.base.LayeredLM` interface one decoder
+layer at a time.  Two backends are provided:
+
+* :class:`~repro.model.synthetic.SyntheticLayeredLM` — the calibrated
+  probability-shift simulator standing in for Llama2 checkpoints (see
+  DESIGN.md, "Substitutions").
+* :class:`~repro.model.transformer_backend.TransformerLayeredLM` — a real
+  numpy transformer behind the same interface.
+"""
+
+from repro.model.base import LayeredLM, LMState
+from repro.model.difficulty import ExitLayerProcess, ExitProfile
+from repro.model.draft import Speculator, TreeDrafter
+from repro.model.oracle import NGramOracle
+from repro.model.profiles import SemanticProfile, get_profile
+from repro.model.synthetic import SyntheticLayeredLM
+from repro.model.transformer_backend import TransformerLayeredLM
+
+__all__ = [
+    "ExitLayerProcess",
+    "ExitProfile",
+    "LayeredLM",
+    "LMState",
+    "NGramOracle",
+    "SemanticProfile",
+    "Speculator",
+    "SyntheticLayeredLM",
+    "TransformerLayeredLM",
+    "TreeDrafter",
+    "get_profile",
+]

@@ -1,0 +1,120 @@
+"""The layer-resolved language-model interface every engine drives.
+
+SpecEE (and the baselines it is compared against) interact with the target
+LLM only through this narrow surface:
+
+* start a generation from a prompt,
+* advance the current token's hidden state one decoder layer at a time,
+* project a hidden state through the LM head — either over the full
+  vocabulary or over a handful of columns (the *speculative LM head* of
+  paper Sec. 4.3.1),
+* commit a chosen token (possibly decided before the final layer).
+
+Because early exit is about *not running* the remaining layers, the interface
+is deliberately incremental: ``layer_forward`` must be called for layer ``l``
+before ``l + 1``, and committing mid-depth is legal.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LMState", "LayeredLM"]
+
+
+@dataclass
+class LMState:
+    """Mutable per-generation state shared by all backends.
+
+    ``context`` holds prompt plus committed tokens; ``layer_cursor`` tracks
+    how deep the current token's forward pass has progressed (``-1`` before
+    the first layer).  Backends attach their own fields via subclassing.
+    """
+
+    context: List[int]
+    prompt_len: int
+    step_index: int = 0
+    layer_cursor: int = -1
+    script: Optional[List[int]] = None
+    exit_layers: List[int] = field(default_factory=list)
+
+    @property
+    def generated(self) -> List[int]:
+        return self.context[self.prompt_len :]
+
+
+class LayeredLM(abc.ABC):
+    """Abstract layer-resolved LM (see module docstring)."""
+
+    # -- static shape ------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def n_layers(self) -> int:
+        """Number of decoder layers."""
+
+    @property
+    @abc.abstractmethod
+    def hidden_dim(self) -> int:
+        """Simulation hidden width."""
+
+    @property
+    @abc.abstractmethod
+    def vocab_size(self) -> int:
+        """Simulation vocabulary size."""
+
+    # -- generation --------------------------------------------------------
+    @abc.abstractmethod
+    def start(self, prompt: Sequence[int], script: Optional[Sequence[int]] = None) -> LMState:
+        """Begin a generation; ``script`` optionally pins the model's intended
+        outputs for the first ``len(script)`` steps (used by dataset items to
+        plant calibrated answers — see DESIGN.md)."""
+
+    @abc.abstractmethod
+    def begin_step(self, state: LMState) -> None:
+        """Prepare internal state for generating the next token."""
+
+    @abc.abstractmethod
+    def layer_forward(self, state: LMState, layer: int) -> np.ndarray:
+        """Run decoder layer ``layer`` for the current token; returns the
+        hidden state after that layer.  Must be called in depth order."""
+
+    @abc.abstractmethod
+    def lm_head_full(self, hidden: np.ndarray) -> np.ndarray:
+        """Full-vocabulary logits for ``hidden`` (the expensive projection)."""
+
+    @abc.abstractmethod
+    def lm_head_slice(self, hidden: np.ndarray, token_ids: np.ndarray) -> np.ndarray:
+        """Logits restricted to ``token_ids`` — the speculative LM head."""
+
+    @abc.abstractmethod
+    def commit(self, state: LMState, token: int, exit_layer: int) -> None:
+        """Accept ``token`` as the step's output, generated at ``exit_layer``."""
+
+    # -- conveniences --------------------------------------------------------
+    def run_to_layer(self, state: LMState, layer: int) -> np.ndarray:
+        """Advance from the current cursor through ``layer`` inclusive."""
+        hidden: Optional[np.ndarray] = None
+        for l in range(state.layer_cursor + 1, layer + 1):
+            hidden = self.layer_forward(state, l)
+        if hidden is None:
+            raise ValueError(f"cursor already past layer {layer}")
+        return hidden
+
+    def greedy_token(self, hidden: np.ndarray) -> int:
+        """Argmax over the full LM head."""
+        return int(np.argmax(self.lm_head_full(hidden)))
+
+    def generate_dense(self, state: LMState, n_tokens: int) -> List[int]:
+        """Reference full-depth greedy decode (used by tests and baselines)."""
+        out = []
+        for _ in range(n_tokens):
+            self.begin_step(state)
+            hidden = self.run_to_layer(state, self.n_layers - 1)
+            token = self.greedy_token(hidden)
+            self.commit(state, token, self.n_layers - 1)
+            out.append(token)
+        return out

@@ -1,0 +1,178 @@
+"""Saturation-depth ("difficulty") process.
+
+Each generated token has a *saturation layer* ``L*`` — the depth at which the
+target token's probability shifts upward and becomes the global argmax
+(paper Sec. 4.2).  Empirically the paper observes two structural properties
+that SpecEE's scheduler exploits:
+
+* **Skewed distribution** (Fig. 10a/c): exits concentrate on a model-specific
+  subset of layers; ~50% of layers carry < average probability.
+* **Context similarity** (Fig. 11): the exit layer of the current token falls
+  within +/-2 layers of one of the previous five tokens' exits ~80% of the
+  time, far above the ~32% expected from the stationary distribution alone.
+
+:class:`ExitLayerProcess` *generates* a saturation sequence with both
+properties, so the scheduler's statistics are discovered, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.ring import CircularQueue
+from repro.utils.rng import child_rng
+
+__all__ = ["ExitProfile", "ExitLayerProcess"]
+
+
+@dataclass(frozen=True)
+class ExitProfile:
+    """Stationary saturation-layer distribution for one (model, dataset).
+
+    ``weights[l]`` is the probability that a token saturates at layer ``l``
+    (0-based).  Mass at ``n_layers - 1`` means "only the final layer reveals
+    the target" (no early exit possible for that token).
+    """
+
+    n_layers: int
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != self.n_layers:
+            raise ValueError(
+                f"weights length {len(self.weights)} != n_layers {self.n_layers}"
+            )
+        total = float(sum(self.weights))
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"weights must sum to 1, got {total}")
+
+    @classmethod
+    def from_params(
+        cls,
+        n_layers: int,
+        peak_frac: float = 0.60,
+        spread_frac: float = 0.13,
+        right_skew: float = 1.6,
+        full_depth_rate: float = 0.10,
+        min_layer: int = 4,
+        spike_seed: Optional[int] = None,
+        spike_strength: float = 0.55,
+    ) -> "ExitProfile":
+        """Build a skewed, spiky profile from interpretable parameters.
+
+        A split-normal bump centred at ``peak_frac * n_layers`` (wider on the
+        deep side by ``right_skew``) is modulated by multiplicative spikes at
+        seeded layer positions — reproducing the jagged histograms of
+        Fig. 10 — and topped with a ``full_depth_rate`` atom at the last layer.
+        """
+        layers = np.arange(n_layers, dtype=np.float64)
+        peak = peak_frac * n_layers
+        spread = max(spread_frac * n_layers, 1.0)
+        left = np.exp(-0.5 * ((layers - peak) / spread) ** 2)
+        right = np.exp(-0.5 * ((layers - peak) / (spread * right_skew)) ** 2)
+        bump = np.where(layers <= peak, left, right)
+        bump[:min_layer] = 0.0
+        bump[-1] = 0.0  # the final layer gets its own atom below
+        if spike_seed is not None:
+            rng = child_rng(spike_seed, "exit-spikes")
+            spikes = 1.0 + spike_strength * (rng.random(n_layers) - 0.3)
+            bump *= np.clip(spikes, 0.2, None)
+        if bump.sum() <= 0:
+            raise ValueError("profile parameters leave no early-exit mass")
+        weights = bump / bump.sum() * (1.0 - full_depth_rate)
+        weights[-1] = full_depth_rate
+        weights = weights / weights.sum()
+        return cls(n_layers=n_layers, weights=tuple(float(w) for w in weights))
+
+    @property
+    def mean_layer(self) -> float:
+        return float(np.dot(np.arange(self.n_layers), np.asarray(self.weights)))
+
+    def theoretical_vicinity_hit(self, vicinity: int = 2) -> float:
+        """Probability two independent draws land within ``vicinity`` layers —
+        the paper's ~31.8% 'theoretical hit ratio' baseline (Fig. 11)."""
+        w = np.asarray(self.weights)
+        hit = 0.0
+        for l in range(self.n_layers):
+            lo, hi = max(0, l - vicinity), min(self.n_layers, l + vicinity + 1)
+            hit += w[l] * w[lo:hi].sum()
+        return float(hit)
+
+
+class ExitLayerProcess:
+    """Sequential saturation-layer generator with context similarity.
+
+    With probability ``similarity`` the next saturation layer is drawn near
+    (within ``vicinity``) a uniformly chosen exit among the last ``window``
+    tokens; otherwise it is a fresh draw from the stationary profile.  Tokens
+    that saturate only at the final layer are excluded from anchoring, like
+    the paper excludes non-exits from the circular queue.
+    """
+
+    def __init__(
+        self,
+        profile: ExitProfile,
+        seed: int = 0,
+        similarity: float = 0.72,
+        window: int = 5,
+        vicinity: int = 2,
+    ):
+        if not 0.0 <= similarity <= 1.0:
+            raise ValueError("similarity must lie in [0, 1]")
+        self.profile = profile
+        self.similarity = similarity
+        self.window = window
+        self.vicinity = vicinity
+        self._rng = child_rng(seed, "exit-process")
+        self._recent = CircularQueue(window)
+        self._weights = np.asarray(profile.weights)
+
+    @property
+    def n_layers(self) -> int:
+        return self.profile.n_layers
+
+    def _fresh(self) -> int:
+        return int(self._rng.choice(self.n_layers, p=self._weights))
+
+    def sample(self) -> int:
+        """Draw the next token's saturation layer and update history."""
+        anchors = [l for l in self._recent if l < self.n_layers - 1]
+        if anchors and self._rng.random() < self.similarity:
+            anchor = int(self._rng.choice(anchors))
+            offset = int(self._rng.integers(-self.vicinity, self.vicinity + 1))
+            layer = int(np.clip(anchor + offset, 0, self.n_layers - 1))
+            # Respect the profile's floor: never saturate before any mass.
+            first_valid = int(np.argmax(self._weights > 0))
+            layer = max(layer, first_valid)
+        else:
+            layer = self._fresh()
+        self._recent.push(layer)
+        return layer
+
+    def sequence(self, length: int) -> List[int]:
+        return [self.sample() for _ in range(length)]
+
+    def reset(self) -> None:
+        self._recent.clear()
+
+
+def measured_vicinity_hit(
+    exits: Sequence[int], window: int = 5, vicinity: int = 2,
+    exclude_layer: Optional[int] = None,
+) -> float:
+    """Fraction of exits landing within ``vicinity`` of any of the previous
+    ``window`` exits (the Fig. 11 'actual hit ratio' statistic)."""
+    hits = 0
+    total = 0
+    recent = CircularQueue(window)
+    for e in exits:
+        if len(recent):
+            total += 1
+            if any(abs(e - r) <= vicinity for r in recent):
+                hits += 1
+        if exclude_layer is None or e != exclude_layer:
+            recent.push(e)
+    return hits / total if total else float("nan")

@@ -1,0 +1,158 @@
+"""Draft (speculative) models.
+
+:class:`Speculator` is the per-token draft used by SpecEE's autoregressive
+mode (paper Sec. 3.2): it proposes ``k`` candidate tokens whose hit rate —
+how often the target model's final output is among them — is the calibrated
+stand-in for a trained EAGLE head.  :class:`TreeDrafter` grows the left-heavy
+token trees used by speculative decoding (Sec. 6.1, Fig. 13).
+
+Both are coupled to the target model only through the shared
+:class:`~repro.model.oracle.NGramOracle` — the draft approximates the same
+language the target model speaks, which is exactly the relationship a
+distilled draft head has with its target LLM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.oracle import NGramOracle
+
+__all__ = ["Speculator", "DraftTree", "TreeDrafter"]
+
+
+class Speculator:
+    """Top-``k`` draft proposer with a calibrated hit rate.
+
+    On a *hit* (probability ``hit_rate``, decided deterministically per
+    context) the proposal set contains the oracle target, usually in the
+    first slot; on a miss it contains only plausible alternatives.  Memory
+    and latency of the draft model are accounted by the hardware layer, not
+    here.
+    """
+
+    def __init__(self, oracle: NGramOracle, k: int = 4, hit_rate: float = 0.80):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ValueError("hit_rate must lie in [0, 1]")
+        self.oracle = oracle
+        self.k = k
+        self.hit_rate = hit_rate
+
+    def propose(self, context: Sequence[int]) -> np.ndarray:
+        """Return ``k`` distinct candidate tokens for the next position."""
+        hit = self.oracle.uniform_hash(context, "draft-hit") < self.hit_rate
+        alts = self.oracle.alternatives(context, self.k)
+        if hit:
+            target = self.oracle.target(context)
+            # The draft ranks the target first ~75% of the time; otherwise it
+            # appears lower in the candidate list.
+            slot_roll = self.oracle.uniform_hash(context, "draft-slot")
+            slot = 0 if slot_roll < 0.75 else 1 + int(slot_roll * 97) % (self.k - 1) if self.k > 1 else 0
+            tokens = alts[: self.k - 1]
+            tokens.insert(min(slot, len(tokens)), target)
+        else:
+            tokens = alts[: self.k]
+        return np.asarray(tokens[: self.k], dtype=np.int64)
+
+    def is_hit(self, context: Sequence[int]) -> bool:
+        """Whether the proposal for ``context`` contains the oracle target."""
+        return bool(self.oracle.uniform_hash(context, "draft-hit") < self.hit_rate)
+
+
+@dataclass
+class DraftTree:
+    """A token tree: ``tokens[i]`` with parent ``parents[i]`` (-1 = root child)."""
+
+    tokens: List[int] = field(default_factory=list)
+    parents: List[int] = field(default_factory=list)
+
+    def add(self, token: int, parent: int) -> int:
+        self.tokens.append(int(token))
+        self.parents.append(int(parent))
+        return len(self.tokens) - 1
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def children_of(self, node: int) -> List[int]:
+        return [i for i, p in enumerate(self.parents) if p == node]
+
+    def path_to(self, node: int) -> List[int]:
+        """Node indices from a root child down to ``node`` inclusive."""
+        path: List[int] = []
+        i = node
+        while i >= 0:
+            path.append(i)
+            i = self.parents[i]
+        return path[::-1]
+
+    def leaves(self) -> List[int]:
+        with_children = set(p for p in self.parents if p >= 0)
+        return [i for i in range(len(self.tokens)) if i not in with_children]
+
+    def paths(self) -> List[List[int]]:
+        """All root-to-leaf node-index paths (the hyper-token candidates)."""
+        return [self.path_to(leaf) for leaf in self.leaves()]
+
+
+class TreeDrafter:
+    """Left-heavy draft tree builder (EAGLE-style static topology).
+
+    The highest-confidence chain is expanded deepest; side branches get
+    single-token chains.  Per level, the *correct* continuation appears with
+    probability ``level_hit_rate`` — conditional on all previous levels being
+    correct — which yields the geometric accepted-length distribution
+    speculative decoding engines exhibit in practice.
+    """
+
+    def __init__(
+        self,
+        oracle: NGramOracle,
+        depth: int = 4,
+        top_branches: int = 4,
+        level_hit_rate: float = 0.76,
+    ):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.oracle = oracle
+        self.depth = depth
+        self.top_branches = top_branches
+        self.level_hit_rate = level_hit_rate
+
+    def build(self, context: Sequence[int]) -> DraftTree:
+        """Grow a tree for the next positions after ``context``."""
+        tree = DraftTree()
+        ctx = list(context)
+        # Level 1: top_branches children of the committed context.
+        main = self._level_tokens(ctx, level=0)
+        main_idx = -1
+        for rank, tok in enumerate(main):
+            idx = tree.add(tok, -1)
+            if rank == 0:
+                main_idx = idx
+        # Deeper levels: expand only the main chain; give one side chain a
+        # single extension so multiple path lengths exist.
+        for level in range(1, self.depth):
+            parent_path = tree.path_to(main_idx)
+            parent_ctx = ctx + [tree.tokens[i] for i in parent_path]
+            toks = self._level_tokens(parent_ctx, level=level, count=2)
+            new_main = tree.add(toks[0], main_idx)
+            if len(toks) > 1:
+                tree.add(toks[1], main_idx)
+            main_idx = new_main
+        return tree
+
+    def _level_tokens(self, context: List[int], level: int, count: int | None = None) -> List[int]:
+        count = count if count is not None else self.top_branches
+        hit = self.oracle.uniform_hash(context, f"tree-hit-{level}") < self.level_hit_rate
+        alts = self.oracle.alternatives(context, count)
+        if hit:
+            tokens = [self.oracle.target(context)] + alts[: count - 1]
+        else:
+            tokens = alts[:count]
+        return tokens

@@ -1,0 +1,125 @@
+"""Deterministic n-gram oracle language.
+
+The oracle defines the synthetic language both the target LLM and the draft
+model approximate: given the last ``order`` tokens it deterministically
+produces the "true" next token, a ranked list of plausible alternatives and a
+full next-token distribution.  All values derive from a stable hash of
+``(seed, context window)``, so the language is reproducible, has long-range
+consistency (the same context always continues the same way), and exhibits a
+Zipf-like unigram frequency profile, like natural text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.mathx import softmax
+from repro.utils.rng import child_rng, hash_to_uint64
+
+__all__ = ["NGramOracle"]
+
+
+class NGramOracle:
+    """Hash-based deterministic n-gram language model.
+
+    Parameters
+    ----------
+    vocab_size : size of the synthetic vocabulary.
+    order : context window length defining the n-gram.
+    seed : language seed; different seeds are unrelated languages.
+    zipf_a : Zipf exponent shaping the marginal token distribution.
+    """
+
+    def __init__(self, vocab_size: int, order: int = 3, seed: int = 0, zipf_a: float = 1.1):
+        if vocab_size < 8:
+            raise ValueError("vocab_size must be >= 8")
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.vocab_size = vocab_size
+        self.order = order
+        self.seed = seed
+        # Zipf-ranked marginal: token id -> probability rank (a fixed seeded
+        # permutation decouples token id from frequency rank).
+        ranks = child_rng(seed, "oracle-ranks").permutation(vocab_size)
+        weights = 1.0 / np.power(np.arange(1, vocab_size + 1, dtype=np.float64), zipf_a)
+        self._marginal = np.empty(vocab_size)
+        self._marginal[ranks] = weights / weights.sum()
+
+    # -- internals -----------------------------------------------------------
+    # Position bucket width: the language drifts slowly with absolute
+    # position, which (a) is how real text behaves and (b) prevents greedy
+    # decoding from entering absorbing repetition cycles — a pure n-gram
+    # language has fixed points (target(t,t,t) == t) that freeze every
+    # hash-coupled decision downstream.
+    _DRIFT_BUCKET = 48
+
+    def _window(self, context: Sequence[int]) -> tuple:
+        bucket = len(context) // self._DRIFT_BUCKET
+        return (bucket,) + tuple(int(t) for t in context[-self.order :])
+
+    def _ctx_rng(self, context: Sequence[int], tag: str) -> np.random.Generator:
+        return child_rng(self.seed, "oracle", tag, self._window(context))
+
+    # -- queries ---------------------------------------------------------------
+    def target(self, context: Sequence[int]) -> int:
+        """The language's true next token for ``context``."""
+        rng = self._ctx_rng(context, "target")
+        # Sample once from the marginal so frequent tokens recur, like text.
+        return int(rng.choice(self.vocab_size, p=self._marginal))
+
+    def alternatives(self, context: Sequence[int], count: int) -> List[int]:
+        """Plausible non-target continuations, ranked; disjoint from target."""
+        target = self.target(context)
+        rng = self._ctx_rng(context, "alts")
+        alts: List[int] = []
+        seen = {target}
+        while len(alts) < count:
+            tok = int(rng.choice(self.vocab_size, p=self._marginal))
+            if tok not in seen:
+                seen.add(tok)
+                alts.append(tok)
+        return alts
+
+    def offspec_distractor(self, context: Sequence[int], exclude: Sequence[int]) -> int:
+        """A plausible token guaranteed outside ``exclude`` (pre-saturation
+        argmax that must not collide with speculative tokens)."""
+        banned = set(int(t) for t in exclude)
+        banned.add(self.target(context))
+        rng = self._ctx_rng(context, "offspec")
+        while True:
+            tok = int(rng.choice(self.vocab_size, p=self._marginal))
+            if tok not in banned:
+                return tok
+
+    def distribution(self, context: Sequence[int], sharpness: float = 4.0) -> np.ndarray:
+        """Full next-token distribution: target-dominated with plausible
+        alternatives and a Zipf tail.  ``sharpness`` controls target mass."""
+        logits = np.log(self._marginal)
+        logits = logits - logits.max()
+        target = self.target(context)
+        logits = logits.copy()
+        # Boosts are absolute (relative to the most frequent token's zero
+        # logit) so the target tops the distribution regardless of its own
+        # marginal frequency.
+        logits[target] = 0.9 * sharpness
+        for rank, alt in enumerate(self.alternatives(context, 4)):
+            logits[alt] = sharpness * (0.5 - 0.08 * rank)
+        return softmax(logits)
+
+    def continuation(self, context: Sequence[int], length: int) -> List[int]:
+        """Greedy rollout of ``length`` target tokens."""
+        ctx = [int(t) for t in context]
+        out: List[int] = []
+        for _ in range(length):
+            tok = self.target(ctx)
+            out.append(tok)
+            ctx.append(tok)
+        return out
+
+    def uniform_hash(self, context: Sequence[int], tag: str) -> float:
+        """Deterministic U[0,1) draw tied to this context (for coupled
+        decisions like draft hits and transient spikes)."""
+        h = hash_to_uint64(self.seed, tag, self._window(context))
+        return (h & 0xFFFFFFFFFFFF) / float(1 << 48)

@@ -1,0 +1,108 @@
+"""Per-model semantic profiles.
+
+A :class:`SemanticProfile` gathers every knob of the synthetic substrate for
+one target model: the saturation-layer distribution (Fig. 10), the context
+similarity strength (Fig. 11), the draft model's hit rate, the rate of
+transient premature argmax spikes (the residual-error mechanism behind the
+paper's <1% accuracy delta), and the hidden-dynamics coefficients realising
+the probability shift of Fig. 5.
+
+Dataset stand-ins (:mod:`repro.data.datasets`) start from the model profile
+and apply small per-task modifiers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.model.difficulty import ExitProfile
+
+__all__ = ["SemanticProfile", "MODEL_PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class SemanticProfile:
+    """All semantic knobs of the synthetic LLM substrate for one model."""
+
+    name: str
+    n_layers: int
+    # Saturation-layer (difficulty) distribution — see ExitProfile.from_params.
+    peak_frac: float = 0.58
+    spread_frac: float = 0.13
+    right_skew: float = 1.6
+    full_depth_rate: float = 0.10
+    min_layer: int = 4
+    spike_seed: int = 7
+    # Context similarity of saturation layers (Fig. 11).
+    similarity: float = 0.82
+    window: int = 5
+    vicinity: int = 2
+    # Draft model quality.
+    draft_hit_rate: float = 0.80
+    tree_level_hit_rate: float = 0.82
+    # Rate of transient premature top-1 spikes (residual error source).
+    transient_rate: float = 0.03
+    # Hidden-dynamics coefficients (paper Fig. 5 probability shift).
+    c_target_lo: float = 0.15
+    c_target_hi: float = 1.0
+    c_dom_hi: float = 0.85
+    c_dom_lo: float = 0.15
+    c_secondary: float = 0.20
+    # Post-saturation consolidation of plausible alternatives: as depth grows
+    # the language's probability mass concentrates on plausible tokens, so
+    # the in-speculative-set distractors also rise (keeps features informative
+    # on draft-miss steps).
+    secondary_rise: float = 0.55
+    shift_sharpness: float = 6.0
+    noise: float = 0.05
+    gain: float = 12.0
+    transient_peak: float = 0.95
+    transient_dom: float = 0.30
+
+    def exit_profile(self) -> ExitProfile:
+        """Materialise the stationary saturation-layer distribution."""
+        return ExitProfile.from_params(
+            n_layers=self.n_layers,
+            peak_frac=self.peak_frac,
+            spread_frac=self.spread_frac,
+            right_skew=self.right_skew,
+            full_depth_rate=self.full_depth_rate,
+            min_layer=self.min_layer,
+            spike_seed=self.spike_seed,
+        )
+
+    def with_overrides(self, **kwargs) -> "SemanticProfile":
+        """Functional update (used by dataset modifiers)."""
+        return dataclasses.replace(self, **kwargs)
+
+
+MODEL_PROFILES: Dict[str, SemanticProfile] = {
+    # Average forward layers calibration targets (paper Table 4):
+    #   llama2-7b  ~23 / 32,   llama2-13b ~25-26 / 40,   llama2-70b ~50-57 / 80.
+    "llama2-7b": SemanticProfile(
+        name="llama2-7b", n_layers=32, peak_frac=0.54, full_depth_rate=0.09,
+        draft_hit_rate=0.80, spike_seed=7,
+    ),
+    "llama2-13b": SemanticProfile(
+        name="llama2-13b", n_layers=40, peak_frac=0.50, full_depth_rate=0.10,
+        draft_hit_rate=0.82, spike_seed=13,
+    ),
+    "llama2-70b": SemanticProfile(
+        name="llama2-70b", n_layers=80, peak_frac=0.55, full_depth_rate=0.12,
+        draft_hit_rate=0.85, spike_seed=70,
+    ),
+    "vicuna-7b": SemanticProfile(
+        name="vicuna-7b", n_layers=32, peak_frac=0.52, full_depth_rate=0.11,
+        draft_hit_rate=0.80, spike_seed=21, spread_frac=0.15,
+    ),
+}
+
+
+def get_profile(name: str) -> SemanticProfile:
+    try:
+        return MODEL_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_PROFILES))
+        raise KeyError(f"unknown profile {name!r}; known: {known}") from None

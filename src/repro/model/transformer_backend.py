@@ -1,0 +1,109 @@
+"""LayeredLM adapter over the real numpy transformer.
+
+This backend runs genuine attention/FFN math through the same interface the
+engines drive, which keeps the whole SpecEE pipeline honest: every feature
+extraction, predictor call and verification step that works on the synthetic
+backend also works on a real transformer.  With random weights its outputs
+are not a trained language, so experiments use the synthetic backend; tests
+use this one to validate the interface contract (KV-cache consistency,
+early-exit KV propagation, layer ordering).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.base import LayeredLM, LMState
+from repro.nn.attention import KVCache
+from repro.nn.transformer import TinyTransformerLM, TransformerConfig
+
+__all__ = ["TransformerLayeredLM", "TransformerState"]
+
+
+class TransformerState(LMState):
+    """LMState plus the transformer's KV cache and current activations."""
+
+    def __init__(self, context: List[int], prompt_len: int, cache: KVCache):
+        super().__init__(context=context, prompt_len=prompt_len)
+        self.cache = cache
+        self.hidden: Optional[np.ndarray] = None  # [1, dim] current activations
+
+
+class TransformerLayeredLM(LayeredLM):
+    """Layer-resolved decoding over :class:`TinyTransformerLM`.
+
+    On an early exit, KV entries for the skipped layers are synthesised from
+    the exit-layer hidden state (hidden-state propagation), so later tokens
+    attend over a complete cache — the standard treatment in early-exit LLM
+    systems.
+    """
+
+    def __init__(self, cfg: TransformerConfig | None = None, seed: int = 0, max_tokens: int = 512):
+        self.cfg = cfg or TransformerConfig()
+        self.lm = TinyTransformerLM(self.cfg, seed=seed)
+        self.max_tokens = max_tokens
+
+    @property
+    def n_layers(self) -> int:
+        return self.cfg.n_layers
+
+    @property
+    def hidden_dim(self) -> int:
+        return self.cfg.dim
+
+    @property
+    def vocab_size(self) -> int:
+        return self.cfg.vocab_size
+
+    # -- generation ----------------------------------------------------------
+    def start(self, prompt: Sequence[int], script: Optional[Sequence[int]] = None) -> TransformerState:
+        if script is not None:
+            raise ValueError("the transformer backend cannot plant scripted outputs")
+        prompt = [int(t) % self.vocab_size for t in prompt]
+        if not prompt:
+            raise ValueError("prompt must contain at least one token")
+        cache = self.lm.new_cache(self.max_tokens)
+        state = TransformerState(context=list(prompt), prompt_len=len(prompt), cache=cache)
+        # Prefill all layers over the prompt.
+        self.lm.forward_all(np.asarray(prompt), cache, np.arange(len(prompt)))
+        return state
+
+    def begin_step(self, state: TransformerState) -> None:
+        last = state.context[-1]
+        state.hidden = self.lm.embed(np.asarray([last]))
+        state.layer_cursor = -1
+
+    def layer_forward(self, state: TransformerState, layer: int) -> np.ndarray:
+        if state.hidden is None:
+            raise RuntimeError("begin_step must be called before layer_forward")
+        if layer != state.layer_cursor + 1:
+            raise ValueError(
+                f"layers must run in order: expected {state.layer_cursor + 1}, got {layer}"
+            )
+        position = np.asarray([len(state.context) - 1])
+        state.hidden = self.lm.layer_forward(state.hidden, layer, state.cache, position)
+        state.layer_cursor = layer
+        return state.hidden[0]
+
+    def lm_head_full(self, hidden: np.ndarray) -> np.ndarray:
+        return self.lm.lm_head(hidden)
+
+    def lm_head_slice(self, hidden: np.ndarray, token_ids: np.ndarray) -> np.ndarray:
+        return self.lm.lm_head_slice(hidden, token_ids)
+
+    def commit(self, state: TransformerState, token: int, exit_layer: int) -> None:
+        if state.hidden is None:
+            raise RuntimeError("commit without begin_step")
+        # Hidden-state propagation: fill KV for skipped layers so the cache
+        # stays rectangular.
+        position = np.asarray([len(state.context) - 1])
+        hidden = state.hidden
+        for layer in range(state.layer_cursor + 1, self.n_layers):
+            hidden = self.lm.layer_forward(hidden, layer, state.cache, position)
+        state.context.append(int(token))
+        state.exit_layers.append(int(exit_layer))
+        state.step_index += 1
+        state.hidden = None
+        state.layer_cursor = -1

@@ -1,0 +1,135 @@
+"""Causal multi-head self-attention with a contiguous KV cache (inference path)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.rope import RotaryEmbedding, apply_rope
+from repro.utils.mathx import softmax
+
+__all__ = ["KVCache", "CausalSelfAttention"]
+
+
+class KVCache:
+    """Per-layer key/value cache with preallocated contiguous storage.
+
+    Shapes: keys/values are ``[n_kv_heads, T, head_dim]`` per layer.  The cache
+    supports appending one or more steps at a time and exposes read-only views
+    of the filled prefix, mirroring how inference engines grow the cache one
+    token per decode step.
+    """
+
+    def __init__(self, n_layers: int, n_kv_heads: int, head_dim: int, max_tokens: int):
+        if max_tokens <= 0:
+            raise ValueError("max_tokens must be positive")
+        self.n_layers = n_layers
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.max_tokens = max_tokens
+        self._k = np.zeros((n_layers, n_kv_heads, max_tokens, head_dim))
+        self._v = np.zeros((n_layers, n_kv_heads, max_tokens, head_dim))
+        self._lengths = np.zeros(n_layers, dtype=np.int64)
+
+    def length(self, layer: int) -> int:
+        return int(self._lengths[layer])
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append ``[n_kv_heads, t, head_dim]`` keys/values for ``layer``."""
+        t = k.shape[1]
+        start = self.length(layer)
+        if start + t > self.max_tokens:
+            raise ValueError(
+                f"KV cache overflow at layer {layer}: {start}+{t} > {self.max_tokens}"
+            )
+        self._k[layer, :, start : start + t] = k
+        self._v[layer, :, start : start + t] = v
+        self._lengths[layer] = start + t
+
+    def view(self, layer: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Read-only views of the filled prefix for ``layer``."""
+        n = self.length(layer)
+        return self._k[layer, :, :n], self._v[layer, :, :n]
+
+    def truncate(self, layer: int, length: int) -> None:
+        """Roll back ``layer`` to ``length`` tokens (speculative rejection)."""
+        if not 0 <= length <= self.length(layer):
+            raise ValueError(f"cannot truncate layer {layer} to {length}")
+        self._lengths[layer] = length
+
+    def truncate_all(self, length: int) -> None:
+        for layer in range(self.n_layers):
+            self.truncate(layer, min(length, self.length(layer)))
+
+    def nbytes(self) -> int:
+        return self._k.nbytes + self._v.nbytes
+
+
+class CausalSelfAttention:
+    """Numpy causal MHA with RoPE and grouped-query attention support."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        rng: np.random.Generator,
+        n_kv_heads: Optional[int] = None,
+        max_positions: int = 4096,
+    ):
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.n_kv_heads = n_kv_heads if n_kv_heads is not None else n_heads
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError("n_heads must be a multiple of n_kv_heads")
+        self.head_dim = dim // n_heads
+        self.group = self.n_heads // self.n_kv_heads
+        scale = 1.0 / np.sqrt(dim)
+        self.wq = rng.normal(0.0, scale, size=(dim, n_heads * self.head_dim))
+        self.wk = rng.normal(0.0, scale, size=(dim, self.n_kv_heads * self.head_dim))
+        self.wv = rng.normal(0.0, scale, size=(dim, self.n_kv_heads * self.head_dim))
+        self.wo = rng.normal(0.0, scale, size=(n_heads * self.head_dim, dim))
+        self.rope = RotaryEmbedding(self.head_dim, max_positions=max_positions)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        layer: int,
+        cache: KVCache,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Attend ``x`` ([T, dim]) at absolute ``positions``, appending to cache.
+
+        Causality within the new block is enforced with an explicit mask; the
+        cached prefix is fully visible (it precedes every new position).
+        """
+        t = x.shape[0]
+        prefix_len = cache.length(layer)
+        cos, sin = self.rope.tables_for(positions)
+
+        q = (x @ self.wq).reshape(t, self.n_heads, self.head_dim).transpose(1, 0, 2)
+        k = (x @ self.wk).reshape(t, self.n_kv_heads, self.head_dim).transpose(1, 0, 2)
+        v = (x @ self.wv).reshape(t, self.n_kv_heads, self.head_dim).transpose(1, 0, 2)
+        q = apply_rope(q, cos, sin)
+        k = apply_rope(k, cos, sin)
+
+        cache.append(layer, k, v)
+        keys, values = cache.view(layer)  # [n_kv_heads, prefix+t, head_dim]
+        total = keys.shape[1]
+
+        # Expand KV heads to query heads for grouped-query attention.
+        keys_q = np.repeat(keys, self.group, axis=0)
+        values_q = np.repeat(values, self.group, axis=0)
+
+        scores = q @ keys_q.transpose(0, 2, 1) / np.sqrt(self.head_dim)  # [H, t, total]
+        # Row i (new position prefix_len + i) may attend to keys [0 .. prefix+i].
+        key_idx = np.arange(total)[None, :]
+        query_idx = (prefix_len + np.arange(t))[:, None]
+        scores = np.where(key_idx <= query_idx, scores, -np.inf)
+
+        attn = softmax(scores, axis=-1)
+        ctx = attn @ values_q  # [H, t, head_dim]
+        ctx = ctx.transpose(1, 0, 2).reshape(t, self.n_heads * self.head_dim)
+        return ctx @ self.wo

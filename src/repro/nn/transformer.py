@@ -1,0 +1,164 @@
+"""Llama-style transformer stacks.
+
+Two variants share the layer geometry:
+
+* :class:`TinyTransformerLM` — forward-only numpy inference stack with RoPE
+  and a :class:`~repro.nn.attention.KVCache`, exposing *layer-resolved*
+  stepping so the early-exit engines can stop mid-depth.
+* :class:`TrainableTransformerLM` — autograd stack (learned absolute position
+  embeddings instead of RoPE) used by the training example and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.attention import CausalSelfAttention, KVCache
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Embedding, Linear, Module, RMSNorm, SwiGLU
+
+__all__ = ["TransformerConfig", "TinyTransformerLM", "TrainableTransformerLM"]
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    vocab_size: int = 512
+    dim: int = 64
+    n_layers: int = 8
+    n_heads: int = 4
+    n_kv_heads: Optional[int] = None
+    intermediate_dim: int = 172
+    max_positions: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads != 0:
+            raise ValueError("dim must be divisible by n_heads")
+
+
+class _DecoderLayer:
+    """Forward-only decoder layer: pre-norm attention + pre-norm SwiGLU."""
+
+    def __init__(self, cfg: TransformerConfig, rng: np.random.Generator):
+        self.attn_norm = RMSNorm(cfg.dim)
+        self.attn = CausalSelfAttention(
+            cfg.dim, cfg.n_heads, rng, n_kv_heads=cfg.n_kv_heads,
+            max_positions=cfg.max_positions,
+        )
+        self.ffn_norm = RMSNorm(cfg.dim)
+        self.ffn = SwiGLU(cfg.dim, cfg.intermediate_dim, rng)
+
+    def forward(
+        self, x: np.ndarray, layer: int, cache: KVCache, positions: np.ndarray
+    ) -> np.ndarray:
+        x = x + self.attn.forward(self.attn_norm.forward_np(x), layer, cache, positions)
+        x = x + self.ffn.forward_np(self.ffn_norm.forward_np(x))
+        return x
+
+
+class TinyTransformerLM:
+    """Inference-only transformer with layer-resolved forward.
+
+    The engines drive it through :meth:`embed`, :meth:`layer_forward` and
+    :meth:`lm_head`; a convenience :meth:`forward_all` runs the full depth.
+    """
+
+    def __init__(self, cfg: TransformerConfig, seed: int = 0):
+        self.cfg = cfg
+        rng = np.random.default_rng(seed)
+        emb_scale = 1.0 / np.sqrt(cfg.dim)
+        self.embedding = rng.normal(0.0, emb_scale, size=(cfg.vocab_size, cfg.dim))
+        self.layers: List[_DecoderLayer] = [
+            _DecoderLayer(cfg, np.random.default_rng(rng.integers(2**31)))
+            for _ in range(cfg.n_layers)
+        ]
+        self.final_norm = RMSNorm(cfg.dim)
+        self.lm_head_weight = rng.normal(0.0, emb_scale, size=(cfg.dim, cfg.vocab_size))
+
+    def new_cache(self, max_tokens: int) -> KVCache:
+        head_dim = self.cfg.dim // self.cfg.n_heads
+        kv_heads = self.cfg.n_kv_heads or self.cfg.n_heads
+        return KVCache(self.cfg.n_layers, kv_heads, head_dim, max_tokens)
+
+    def embed(self, token_ids: np.ndarray) -> np.ndarray:
+        return self.embedding[np.asarray(token_ids, dtype=np.int64)]
+
+    def layer_forward(
+        self, hidden: np.ndarray, layer: int, cache: KVCache, positions: np.ndarray
+    ) -> np.ndarray:
+        return self.layers[layer].forward(hidden, layer, cache, positions)
+
+    def lm_head(self, hidden: np.ndarray) -> np.ndarray:
+        return self.final_norm.forward_np(hidden) @ self.lm_head_weight
+
+    def lm_head_slice(self, hidden: np.ndarray, token_ids: np.ndarray) -> np.ndarray:
+        cols = self.lm_head_weight[:, np.asarray(token_ids, dtype=np.int64)]
+        return self.final_norm.forward_np(hidden) @ cols
+
+    def forward_all(
+        self, token_ids: np.ndarray, cache: KVCache, positions: np.ndarray
+    ) -> np.ndarray:
+        """Run every layer; returns final hidden states ``[T, dim]``."""
+        hidden = self.embed(token_ids)
+        for layer in range(self.cfg.n_layers):
+            hidden = self.layer_forward(hidden, layer, cache, positions)
+        return hidden
+
+
+class _TrainableLayer(Module):
+    def __init__(self, cfg: TransformerConfig, rng: np.random.Generator):
+        self.cfg = cfg
+        dim, heads = cfg.dim, cfg.n_heads
+        self.attn_norm = RMSNorm(dim)
+        self.wq = Linear(dim, dim, rng, bias=False)
+        self.wk = Linear(dim, dim, rng, bias=False)
+        self.wv = Linear(dim, dim, rng, bias=False)
+        self.wo = Linear(dim, dim, rng, bias=False)
+        self.ffn_norm = RMSNorm(dim)
+        self.ffn = SwiGLU(dim, cfg.intermediate_dim, rng)
+        self.n_heads = heads
+        self.head_dim = dim // heads
+
+    def __call__(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        b, t, d = x.shape
+        h = self.attn_norm(x)
+        q = self.wq(h).reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+        k = self.wk(h).reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+        v = self.wv(h).reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        scores = scores + Tensor(mask)  # additive causal mask (constant)
+        attn = scores.softmax(axis=-1)
+        ctx = (attn @ v).transpose(0, 2, 1, 3).reshape(b, t, d)
+        x = x + self.wo(ctx)
+        x = x + self.ffn(self.ffn_norm(x))
+        return x
+
+
+class TrainableTransformerLM(Module):
+    """Autograd transformer LM for the from-scratch training example."""
+
+    def __init__(self, cfg: TransformerConfig, seed: int = 0):
+        self.cfg = cfg
+        rng = np.random.default_rng(seed)
+        self.token_emb = Embedding(cfg.vocab_size, cfg.dim, rng)
+        self.pos_emb = Embedding(cfg.max_positions, cfg.dim, rng)
+        self.layers = [
+            _TrainableLayer(cfg, np.random.default_rng(rng.integers(2**31)))
+            for _ in range(cfg.n_layers)
+        ]
+        self.final_norm = RMSNorm(cfg.dim)
+        self.lm_head = Linear(cfg.dim, cfg.vocab_size, rng, bias=False)
+
+    def __call__(self, token_ids: np.ndarray) -> Tensor:
+        """``token_ids`` [B, T] -> logits Tensor [B, T, V]."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        b, t = token_ids.shape
+        if t > self.cfg.max_positions:
+            raise ValueError(f"sequence length {t} exceeds {self.cfg.max_positions}")
+        x = self.token_emb(token_ids) + self.pos_emb(np.arange(t))
+        mask = np.triu(np.full((t, t), -1e9), k=1)
+        for layer in self.layers:
+            x = layer(x, mask)
+        return self.lm_head(self.final_norm(x))

@@ -1,0 +1,5 @@
+"""Quantization: group-wise activation-aware int4 (AWQ stand-in)."""
+
+from repro.quant.awq import AWQQuantizer, QuantizedLinear, quantize_groupwise
+
+__all__ = ["AWQQuantizer", "QuantizedLinear", "quantize_groupwise"]

@@ -1,0 +1,159 @@
+"""Activation-aware group-wise int4 weight quantization (AWQ, Lin et al.).
+
+AWQ's observation: a small fraction of weight channels matters far more than
+the rest, and *activation magnitudes* identify them.  Scaling salient
+channels up before quantization (and folding the inverse scale into the
+activation path) preserves them through the 4-bit grid.  This module
+implements the full pipeline on numpy arrays:
+
+* :func:`quantize_groupwise` — symmetric round-to-nearest int4 with per-group
+  scales (the storage format, ~0.56 bytes/param at group size 128),
+* :class:`AWQQuantizer` — grid search over the activation-aware scaling
+  exponent alpha minimising reconstruction error on calibration activations,
+* :class:`QuantizedLinear` — a drop-in linear that stores int4 + scales and
+  dequantizes on the fly.
+
+The hardware layer prices quantized engines with
+``weight_bytes_per_param=0.56``; tests verify the error bounds and that
+activation-aware scaling beats plain RTN on skewed activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["quantize_groupwise", "dequantize_groupwise", "AWQQuantizer", "QuantizedLinear"]
+
+
+def quantize_groupwise(
+    weight: np.ndarray, group_size: int = 128, n_bits: int = 4
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric round-to-nearest quantization with per-group scales.
+
+    Groups run along the input dimension (axis 0) of a ``[in, out]`` weight.
+    Returns ``(q, scales)`` with ``q`` int8-storing the signed levels and
+    ``scales`` shaped ``[n_groups, out]``.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError("weight must be 2-D [in, out]")
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    n_in, n_out = weight.shape
+    n_groups = (n_in + group_size - 1) // group_size
+    q = np.zeros_like(weight, dtype=np.int8)
+    scales = np.zeros((n_groups, n_out))
+    qmax = 2 ** (n_bits - 1) - 1
+    for g in range(n_groups):
+        lo, hi = g * group_size, min((g + 1) * group_size, n_in)
+        block = weight[lo:hi]
+        max_abs = np.max(np.abs(block), axis=0)
+        scale = np.where(max_abs > 0, max_abs / qmax, 1.0)
+        q[lo:hi] = np.clip(np.round(block / scale), -qmax - 1, qmax).astype(np.int8)
+        scales[g] = scale
+    return q, scales
+
+
+def dequantize_groupwise(
+    q: np.ndarray, scales: np.ndarray, group_size: int = 128
+) -> np.ndarray:
+    """Inverse of :func:`quantize_groupwise`."""
+    q = np.asarray(q, dtype=np.float64)
+    n_in = q.shape[0]
+    out = np.empty_like(q)
+    for g in range(scales.shape[0]):
+        lo, hi = g * group_size, min((g + 1) * group_size, n_in)
+        out[lo:hi] = q[lo:hi] * scales[g]
+    return out
+
+
+@dataclass
+class QuantizedLinear:
+    """Int4 weight storage with on-the-fly dequantization.
+
+    ``input_scale`` holds the AWQ channel scaling folded into the activation
+    path (``y = (x / s) @ W_q_dequant_scaled``).
+    """
+
+    q: np.ndarray
+    scales: np.ndarray
+    group_size: int
+    input_scale: Optional[np.ndarray] = None
+
+    @property
+    def in_features(self) -> int:
+        return self.q.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.q.shape[1]
+
+    @property
+    def storage_bytes(self) -> float:
+        """4-bit weights plus fp16 group scales."""
+        return self.q.size * 0.5 + self.scales.size * 2.0
+
+    def dequantized(self) -> np.ndarray:
+        w = dequantize_groupwise(self.q, self.scales, self.group_size)
+        if self.input_scale is not None:
+            w = w * self.input_scale[:, None]
+        return w
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.input_scale is not None:
+            x = x / self.input_scale
+        w = dequantize_groupwise(self.q, self.scales, self.group_size)
+        return x @ w
+
+
+class AWQQuantizer:
+    """Activation-aware quantizer: searches the saliency exponent alpha.
+
+    Per AWQ, channel scales are ``s_c = mean(|activation_c|)^alpha`` with
+    alpha chosen on a small grid to minimise output reconstruction MSE over
+    the calibration set.
+    """
+
+    def __init__(self, group_size: int = 128, n_bits: int = 4,
+                 alpha_grid: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)):
+        self.group_size = group_size
+        self.n_bits = n_bits
+        self.alpha_grid = alpha_grid
+
+    def quantize(self, weight: np.ndarray, calibration: np.ndarray) -> QuantizedLinear:
+        """Quantize ``weight`` [in, out] using ``calibration`` [n, in]."""
+        weight = np.asarray(weight, dtype=np.float64)
+        calibration = np.asarray(calibration, dtype=np.float64)
+        if calibration.ndim != 2 or calibration.shape[1] != weight.shape[0]:
+            raise ValueError(
+                f"calibration shape {calibration.shape} does not match weight "
+                f"input dim {weight.shape[0]}"
+            )
+        act_magnitude = np.mean(np.abs(calibration), axis=0) + 1e-8
+        reference = calibration @ weight
+        best: Optional[QuantizedLinear] = None
+        best_err = np.inf
+        for alpha in self.alpha_grid:
+            scale = act_magnitude**alpha
+            scale = scale / np.exp(np.mean(np.log(scale)))  # normalise geomean to 1
+            q, scales = quantize_groupwise(weight * scale[:, None],
+                                           self.group_size, self.n_bits)
+            candidate = QuantizedLinear(q=q, scales=scales,
+                                        group_size=self.group_size, input_scale=scale)
+            err = float(np.mean((reference - candidate(calibration)) ** 2))
+            if err < best_err:
+                best_err = err
+                best = candidate
+        assert best is not None
+        return best
+
+    @staticmethod
+    def reconstruction_error(weight: np.ndarray, quantized: QuantizedLinear,
+                             activations: np.ndarray) -> float:
+        """Mean squared output error on ``activations``."""
+        reference = np.asarray(activations) @ np.asarray(weight)
+        return float(np.mean((reference - quantized(activations)) ** 2))

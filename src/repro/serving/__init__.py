@@ -1,0 +1,5 @@
+"""Serving substrate: vLLM-style paged KV cache."""
+
+from repro.serving.paged_kv import BlockAllocator, PagedKVCache
+
+__all__ = ["BlockAllocator", "PagedKVCache"]

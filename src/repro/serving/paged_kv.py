@@ -1,0 +1,143 @@
+"""vLLM-style paged KV cache (Kwon et al., 2023).
+
+Instead of one contiguous KV region per sequence, keys/values live in
+fixed-size *blocks* handed out by a free-list allocator; each sequence keeps
+a block table mapping logical block index to physical block.  This kills
+external fragmentation and lets sequences grow without reallocation — the
+property that gives vLLM its memory efficiency, which the framework profile
+prices.  The implementation here is a real data structure: tests verify
+allocation invariants and that gather-reads reproduce a contiguous cache
+bit-exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["BlockAllocator", "PagedKVCache"]
+
+
+class BlockAllocator:
+    """Free-list allocator over a fixed pool of physical blocks."""
+
+    def __init__(self, n_blocks: int):
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        self.n_blocks = n_blocks
+        self._free: List[int] = list(range(n_blocks - 1, -1, -1))
+        self._allocated: set[int] = set()
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    def allocate(self) -> int:
+        if not self._free:
+            raise MemoryError("paged KV pool exhausted")
+        block = self._free.pop()
+        self._allocated.add(block)
+        return block
+
+    def free(self, block: int) -> None:
+        if block not in self._allocated:
+            raise ValueError(f"block {block} is not allocated")
+        self._allocated.remove(block)
+        self._free.append(block)
+
+
+class PagedKVCache:
+    """Paged key/value storage for one layer group.
+
+    Physical storage is ``[n_blocks, block_size, n_kv_heads, head_dim]`` for
+    keys and values; sequences append token KV one step at a time and read
+    back gathered contiguous views.
+    """
+
+    def __init__(
+        self,
+        n_blocks: int,
+        block_size: int,
+        n_kv_heads: int,
+        head_dim: int,
+    ):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.allocator = BlockAllocator(n_blocks)
+        shape = (n_blocks, block_size, n_kv_heads, head_dim)
+        self._k = np.zeros(shape)
+        self._v = np.zeros(shape)
+        # seq_id -> (block_table, token_count)
+        self._tables: Dict[int, Tuple[List[int], int]] = {}
+
+    # -- sequence management ---------------------------------------------------
+    def add_sequence(self, seq_id: int) -> None:
+        if seq_id in self._tables:
+            raise ValueError(f"sequence {seq_id} already exists")
+        self._tables[seq_id] = ([], 0)
+
+    def free_sequence(self, seq_id: int) -> None:
+        table, _ = self._require(seq_id)
+        for block in table:
+            self.allocator.free(block)
+        del self._tables[seq_id]
+
+    def _require(self, seq_id: int) -> Tuple[List[int], int]:
+        if seq_id not in self._tables:
+            raise KeyError(f"unknown sequence {seq_id}")
+        return self._tables[seq_id]
+
+    def length(self, seq_id: int) -> int:
+        return self._require(seq_id)[1]
+
+    def block_table(self, seq_id: int) -> List[int]:
+        return list(self._require(seq_id)[0])
+
+    # -- KV I/O ---------------------------------------------------------------
+    def append(self, seq_id: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append one token's KV (``[n_kv_heads, head_dim]``)."""
+        table, count = self._require(seq_id)
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        expected = (self.n_kv_heads, self.head_dim)
+        if k.shape != expected or v.shape != expected:
+            raise ValueError(f"expected KV shape {expected}, got {k.shape}/{v.shape}")
+        offset = count % self.block_size
+        if offset == 0:
+            table.append(self.allocator.allocate())
+        block = table[-1]
+        self._k[block, offset] = k
+        self._v[block, offset] = v
+        self._tables[seq_id] = (table, count + 1)
+
+    def gather(self, seq_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Contiguous ``[tokens, n_kv_heads, head_dim]`` views of a sequence."""
+        table, count = self._require(seq_id)
+        if count == 0:
+            shape = (0, self.n_kv_heads, self.head_dim)
+            return np.empty(shape), np.empty(shape)
+        ks, vs = [], []
+        remaining = count
+        for block in table:
+            take = min(self.block_size, remaining)
+            ks.append(self._k[block, :take])
+            vs.append(self._v[block, :take])
+            remaining -= take
+        return np.concatenate(ks), np.concatenate(vs)
+
+    # -- accounting ---------------------------------------------------------------
+    def blocks_in_use(self) -> int:
+        return sum(len(t) for t, _ in self._tables.values())
+
+    def utilization(self) -> float:
+        """Fraction of allocated slots actually holding tokens — paged
+        caches keep this near 1, contiguous preallocation does not."""
+        blocks = self.blocks_in_use()
+        if blocks == 0:
+            return float("nan")
+        tokens = sum(c for _, c in self._tables.values())
+        return tokens / (blocks * self.block_size)

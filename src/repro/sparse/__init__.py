@@ -1,0 +1,10 @@
+"""Sparse activation: PowerInfer-style hot/cold neuron partitioning."""
+
+from repro.sparse.powerinfer import (
+    ActivationStats,
+    NeuronPartition,
+    hybrid_ffn_time,
+    partition_neurons,
+)
+
+__all__ = ["ActivationStats", "NeuronPartition", "hybrid_ffn_time", "partition_neurons"]

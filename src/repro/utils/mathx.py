@@ -1,0 +1,69 @@
+"""Numerically stable math primitives used across the library."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "sigmoid",
+    "geometric_mean",
+    "normalize_rows",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``; rows sum to exactly one."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def logsumexp(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-sum-exp reduction along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    m = np.max(x, axis=axis, keepdims=True)
+    out = np.log(np.sum(np.exp(x - m), axis=axis, keepdims=True)) + m
+    return np.squeeze(out, axis=axis)
+
+
+def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Stable logistic function (no overflow for large |x|)."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values (paper's Geo.Mean columns)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def normalize_rows(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """L2-normalize the last axis."""
+    x = np.asarray(x, dtype=np.float64)
+    norm = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x / np.maximum(norm, eps)

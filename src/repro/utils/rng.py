@@ -1,0 +1,61 @@
+"""Deterministic random-number streams.
+
+Every stochastic component in the library receives an explicit seed.  To keep
+independent subsystems decorrelated without threading generator objects
+through every call, we derive child seeds from a root seed plus a string tag
+using a stable (non-salted) hash.  The same ``(seed, tag)`` pair always yields
+the same stream on every platform and process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["hash_to_uint64", "child_rng", "RngFactory"]
+
+
+def hash_to_uint64(*parts: object) -> int:
+    """Map an arbitrary tuple of printable parts to a stable 64-bit integer.
+
+    Python's builtin ``hash`` is salted per process for strings, so we use
+    blake2b over the ``repr`` of the parts instead.
+    """
+    payload = "\x1f".join(repr(p) for p in parts).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def child_rng(seed: int, *tags: object) -> np.random.Generator:
+    """Return a generator for the substream identified by ``tags``."""
+    return np.random.default_rng(np.random.SeedSequence([seed & 0xFFFFFFFF, hash_to_uint64(*tags)]))
+
+
+class RngFactory:
+    """Factory producing named, reproducible random streams from one seed.
+
+    >>> rngs = RngFactory(1234)
+    >>> a = rngs.get("weights").standard_normal(3)
+    >>> b = RngFactory(1234).get("weights").standard_normal(3)
+    >>> bool(np.allclose(a, b))
+    True
+    """
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+
+    def get(self, *tags: object) -> np.random.Generator:
+        """Return a fresh generator for the substream named by ``tags``."""
+        return child_rng(self.seed, *tags)
+
+    def derive(self, *tags: object) -> "RngFactory":
+        """Return a new factory whose root is this factory's ``tags`` stream."""
+        return RngFactory(hash_to_uint64(self.seed, *tags) & 0x7FFFFFFF)
+
+    def uniform(self, *tags: object) -> float:
+        """One deterministic uniform sample in [0, 1) for the tagged stream."""
+        return float(self.get(*tags).random())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngFactory(seed={self.seed})"

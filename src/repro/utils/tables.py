@@ -1,0 +1,73 @@
+"""Plain-text table and series rendering for experiment reports.
+
+Every experiment in :mod:`repro.experiments` prints the rows/series the paper
+reports through these helpers, so benchmark output is directly comparable to
+the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value: object, precision: int = 2) -> str:
+    """Render one cell: floats with fixed precision, everything else via str."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    cells = [[format_value(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x_label: str,
+    x_values: Sequence[object],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render named y-series against a shared x-axis as a table."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows, title=title, precision=precision)

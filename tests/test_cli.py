@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig17_memory"])
+        assert args.scale == "small" and args.seed == 0
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14_cloud_ar" in out and "table04_accuracy" in out
+
+    def test_info_model(self, capsys):
+        assert main(["info", "llama2-7b"]) == 0
+        assert "params" in capsys.readouterr().out
+
+    def test_info_device(self, capsys):
+        assert main(["info", "a100-80g"]) == 0
+        assert "TFLOPS" in capsys.readouterr().out
+
+    def test_info_unknown(self, capsys):
+        assert main(["info", "abacus"]) == 2
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "fig17_memory", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "memory" in out and "completed in" in out
+
+    def test_run_writes_file(self, tmp_path):
+        path = tmp_path / "report.txt"
+        assert main(["run", "table02_03_configs", "--out", str(path)]) == 0
+        assert "hardware platforms" in path.read_text()

@@ -1,0 +1,102 @@
+"""Integration tests for SpecEE under speculative decoding (T3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EagleEngine
+from repro.config import SimDims, SpecEEConfig
+from repro.core import (
+    PredictorBank,
+    SpecEESpeculativeEngine,
+    harvest_training_corpus,
+    train_predictor_bank,
+)
+from repro.hardware.ledger import Event
+from repro.model.draft import Speculator, TreeDrafter
+from repro.model.profiles import get_profile
+from repro.model.synthetic import SyntheticLayeredLM
+
+
+@pytest.fixture(scope="module")
+def stack():
+    profile = get_profile("llama2-7b")
+    lm = SyntheticLayeredLM(profile, SimDims(), seed=31)
+    spec = Speculator(lm.oracle, k=4, hit_rate=profile.draft_hit_rate)
+    prompts = [[i + 2, i + 5, 7] for i in range(6)]
+    corpus = harvest_training_corpus(lm, spec, prompts, tokens_per_prompt=30)
+    bank = PredictorBank(lm.n_layers, feature_dim=12, hidden_dim=64, seed=0)
+    train_predictor_bank(bank, corpus, epochs=10)
+    drafter = TreeDrafter(lm.oracle, depth=4, top_branches=4,
+                          level_hit_rate=profile.tree_level_hit_rate)
+    return profile, bank, drafter
+
+
+def fresh(profile, seed=31):
+    return SyntheticLayeredLM(profile, SimDims(), seed=seed)
+
+
+class TestSpecEESpeculative:
+    def test_emits_requested_tokens(self, stack):
+        profile, bank, drafter = stack
+        engine = SpecEESpeculativeEngine(fresh(profile), drafter, bank)
+        result = engine.generate([5, 9, 2], 80)
+        assert len(result.tokens) == 80
+        assert all(0 <= t < 512 for t in result.tokens)
+
+    def test_early_exits_happen_and_save_layers(self, stack):
+        profile, bank, drafter = stack
+        engine = SpecEESpeculativeEngine(fresh(profile), drafter, bank)
+        result = engine.generate([5, 9, 2], 200)
+        early = [it for it in result.iterations if it.early_exit]
+        assert len(early) >= 0.15 * len(result.iterations)
+        layers_per_iter = (result.ledger.calls(Event.TREE_VERIFY_LAYER)
+                           / len(result.iterations))
+        assert layers_per_iter < 31.5
+
+    def test_early_exit_iterations_bounded_depth(self, stack):
+        profile, bank, drafter = stack
+        engine = SpecEESpeculativeEngine(fresh(profile), drafter, bank)
+        result = engine.generate([5, 9, 2], 150)
+        for it in result.iterations:
+            if it.early_exit:
+                assert it.exit_layer < fresh(profile).n_layers - 1
+
+    def test_disabled_early_exit_matches_eagle_costs(self, stack):
+        profile, bank, drafter = stack
+        se = SpecEESpeculativeEngine(fresh(profile), drafter, bank, early_exit=False)
+        r_se = se.generate([5, 9, 2], 60)
+        eagle = EagleEngine(fresh(profile), drafter)
+        r_eagle = eagle.generate([5, 9, 2], 60)
+        # With early exit off, the engines run the same dataflow.
+        assert r_se.tokens == r_eagle.tokens
+        assert (r_se.ledger.calls(Event.TREE_VERIFY_LAYER)
+                == r_eagle.ledger.calls(Event.TREE_VERIFY_LAYER))
+
+    def test_tokens_match_eagle_prefix_until_divergence(self, stack):
+        """Early-exited acceptance must agree with EAGLE's until the first
+        transient/bonus divergence — mismatch before that means a bug."""
+        profile_nt = get_profile("llama2-7b").with_overrides(transient_rate=0.0)
+        lm = SyntheticLayeredLM(profile_nt, SimDims(), seed=33)
+        spec = Speculator(lm.oracle, k=4, hit_rate=profile_nt.draft_hit_rate)
+        corpus = harvest_training_corpus(
+            lm, spec, [[3, 4, 5]], tokens_per_prompt=30)
+        bank = PredictorBank(lm.n_layers, feature_dim=12, hidden_dim=64, seed=0)
+        train_predictor_bank(bank, corpus, epochs=10)
+        drafter = TreeDrafter(lm.oracle, depth=4,
+                              level_hit_rate=profile_nt.tree_level_hit_rate)
+        se = SpecEESpeculativeEngine(fresh(profile_nt, 33), drafter, bank)
+        r_se = se.generate([6, 6, 6], 60)
+        r_eagle = EagleEngine(fresh(profile_nt, 33), drafter).generate([6, 6, 6], 60)
+        agree = sum(a == b for a, b in zip(r_se.tokens, r_eagle.tokens))
+        # Divergence can still come from a pre-saturation bonus token at an
+        # early exit, but the streams must agree on a meaningful prefix.
+        assert agree >= 10
+
+    def test_ledger_tree_events(self, stack):
+        profile, bank, drafter = stack
+        engine = SpecEESpeculativeEngine(fresh(profile), drafter, bank)
+        result = engine.generate([1, 2, 3], 40)
+        iters = len(result.iterations)
+        assert result.ledger.steps == iters
+        assert result.ledger.calls(Event.DRAFT_STEP) == drafter.depth * iters
+        assert result.ledger.calls(Event.TREE_FEATURE_GEMM) > 0

@@ -1,0 +1,210 @@
+"""Tests for workloads (tokenizer, corpus, datasets) and the eval harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import DenseEngine
+from repro.data.corpus import generate_corpus, generate_prompts, sample_reference
+from repro.data.datasets import (
+    CALIBRATION,
+    DATASETS,
+    get_dataset,
+    make_items,
+    match_rate_for_ppl,
+)
+from repro.data.tokenizer import SyntheticTokenizer
+from repro.eval.harness import build_rig, make_model, run_items, trained_assets
+from repro.eval.metrics import accuracy_percent, answer_matches, normalized_layers
+from repro.eval.reporting import ExperimentResult
+from repro.model.oracle import NGramOracle
+from repro.utils.tables import render_series, render_table
+
+
+class TestTokenizer:
+    def test_roundtrip_in_vocab(self):
+        tok = SyntheticTokenizer(128)
+        text = tok.decode([10, 20, 30])
+        assert tok.encode(text) == [10, 20, 30]
+        assert tok.roundtrips(text)
+
+    def test_oov_stable(self):
+        tok = SyntheticTokenizer(128)
+        a = tok.word_to_id("banana")
+        assert a == tok.word_to_id("banana")
+        assert 0 <= a < 128
+
+    def test_specials(self):
+        tok = SyntheticTokenizer(64)
+        assert tok.id_to_word(tok.bos_id) == "<bos>"
+        assert tok.encode("hi", add_bos=True)[0] == tok.bos_id
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(ValueError):
+            SyntheticTokenizer(4)
+
+
+class TestCorpus:
+    def test_prompts_deterministic_and_in_range(self):
+        a = generate_prompts(5, 100, seed=3)
+        b = generate_prompts(5, 100, seed=3)
+        assert a == b
+        assert all(0 <= t < 100 for p in a for t in p)
+
+    def test_corpus_shape(self):
+        oracle = NGramOracle(64, seed=0)
+        corpus = generate_corpus(oracle, 4, 20, seed=1)
+        assert corpus.shape == (4, 20)
+
+    def test_reference_match_rate(self):
+        oracle = NGramOracle(256, seed=1)
+        prompt = [3, 4, 5]
+        ref = sample_reference(oracle, prompt, 400, match_rate=0.7, seed=0)
+        ctx = list(prompt)
+        hits = 0
+        for tok in ref:
+            hits += tok == oracle.target(ctx)
+            ctx.append(tok)
+        assert 0.6 < hits / len(ref) < 0.8
+
+    def test_reference_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            sample_reference(NGramOracle(64), [1], 4, match_rate=2.0)
+
+
+class TestDatasets:
+    def test_registry_has_all_nine(self):
+        assert len(DATASETS) == 9
+
+    def test_match_rate_monotone_in_ppl(self):
+        assert match_rate_for_ppl(5.0) > match_rate_for_ppl(10.0)
+
+    def test_calibration_covers_table4(self):
+        for model in ("llama2-7b", "llama2-13b", "llama2-70b"):
+            for ds in ("mmlu", "csqa", "sst2", "gsm8k", "sum", "mt_bench", "alpaca"):
+                assert (model, "dense", ds) in CALIBRATION
+
+    def test_classification_items(self):
+        oracle = NGramOracle(512, seed=0)
+        spec = get_dataset("mmlu")
+        items = make_items(spec, oracle, "llama2-7b", n_items=20, seed=0)
+        for item in items:
+            assert item.gold is not None and item.script is not None
+            assert len(item.script) == spec.reasoning_tokens + len(item.gold)
+            assert all(g in item.options for g in item.gold)
+
+    def test_planted_accuracy_near_calibration(self):
+        oracle = NGramOracle(512, seed=0)
+        spec = get_dataset("sst2")  # calibrated at 86.24 for 7B dense
+        items = make_items(spec, oracle, "llama2-7b", n_items=300, seed=1)
+        planted = np.mean([
+            item.script[item.answer_start:] == item.gold for item in items
+        ])
+        assert abs(planted * 100 - 86.24) < 6.0
+
+    def test_generation_items(self):
+        oracle = NGramOracle(512, seed=0)
+        spec = get_dataset("sum")
+        items = make_items(spec, oracle, "llama2-7b", n_items=5, seed=0)
+        for item in items:
+            assert item.reference is not None
+            assert len(item.reference) == spec.gen_len
+
+    def test_items_deterministic(self):
+        oracle = NGramOracle(512, seed=0)
+        spec = get_dataset("qa")
+        a = make_items(spec, oracle, "llama2-7b", n_items=3, seed=5)
+        b = make_items(spec, oracle, "llama2-7b", n_items=3, seed=5)
+        assert [i.prompt for i in a] == [i.prompt for i in b]
+
+    def test_profile_modifiers_applied(self):
+        from repro.model.profiles import get_profile
+
+        base = get_profile("llama2-7b")
+        adjusted = get_dataset("gsm8k").apply_to_profile(base)
+        assert adjusted.peak_frac > base.peak_frac
+        assert adjusted.transient_rate > base.transient_rate
+
+
+class TestMetrics:
+    def test_answer_matches(self):
+        assert answer_matches([1, 2, 3, 4], gold=[3, 4], answer_start=2)
+        assert not answer_matches([1, 2, 3], gold=[9], answer_start=2)
+        assert not answer_matches([1], gold=[2, 3], answer_start=0)
+
+    def test_accuracy_percent(self):
+        assert accuracy_percent([True, False]) == 50.0
+        assert math.isnan(accuracy_percent([]))
+
+    def test_normalized_layers(self):
+        assert normalized_layers(20, 25) == pytest.approx(80.0)
+
+
+class TestHarness:
+    def test_trained_assets_cached(self):
+        a = trained_assets("llama2-7b", train_prompts=3, train_tokens=15,
+                           epochs=4, predictor_hidden=32)
+        b = trained_assets("llama2-7b", train_prompts=3, train_tokens=15,
+                           epochs=4, predictor_hidden=32)
+        assert a[0] is b[0]
+
+    def test_run_items_classification(self):
+        rig = build_rig("llama2-7b", train_prompts=3, train_tokens=15,
+                        epochs=4, predictor_hidden=32)
+        spec = get_dataset("mmlu")
+        items = make_items(spec, rig.model.oracle, "llama2-7b", n_items=6)
+        run = run_items(lambda: DenseEngine(rig.fresh_model()), spec, items,
+                        n_layers=rig.model.n_layers)
+        assert 0 <= run.accuracy <= 100
+        assert run.avg_layers == pytest.approx(32.0)
+        # The dense engine proposes no draft tokens, so its theoretical
+        # earliest depth is full depth by construction.
+        assert run.theoretical_layers == pytest.approx(32.0)
+        specee = run_items(lambda: rig.specee_engine(), spec, items,
+                           n_layers=rig.model.n_layers)
+        assert specee.theoretical_layers < 32.0
+        assert specee.avg_layers < 32.0
+
+    def test_run_items_generation_ppl(self):
+        rig = build_rig("llama2-7b", train_prompts=3, train_tokens=15,
+                        epochs=4, predictor_hidden=32)
+        spec = get_dataset("mt_bench")
+        items = make_items(spec, rig.model.oracle, "llama2-7b", n_items=3)
+        run = run_items(lambda: DenseEngine(rig.fresh_model()), spec, items,
+                        n_layers=rig.model.n_layers)
+        assert run.ppl > 1.0
+
+    def test_make_model_dataset_profile(self):
+        base = make_model("llama2-7b")
+        harder = make_model("llama2-7b", get_dataset("gsm8k"))
+        assert harder.profile.peak_frac > base.profile.peak_frac
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "|" in lines[0]
+
+    def test_render_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series(self):
+        text = render_series({"y": [1.0, 2.0]}, "x", [0, 1], title="t")
+        assert "t" in text and "y" in text
+
+    def test_experiment_result_metric(self):
+        r = ExperimentResult("e", "t", headline={"a": 1.0})
+        assert r.metric("a") == 1.0
+        with pytest.raises(KeyError):
+            r.metric("missing")
+
+    def test_experiment_render_contains_tables(self):
+        r = ExperimentResult("e", "t")
+        r.add_table("tab", ["x"], [[1]])
+        r.add_series("ser", "x", [0], {"y": [2.0]})
+        out = r.render()
+        assert "tab" in out and "ser" in out

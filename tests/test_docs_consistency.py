@@ -1,0 +1,49 @@
+"""Documentation consistency: DESIGN.md's experiment index, the experiments
+registry, and the benchmark files must stay in sync."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import REGISTRY
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDesignDoc:
+    def test_design_mentions_every_experiment_module(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for name in REGISTRY:
+            module_suffix = name.split("_", 1)[0]
+            assert module_suffix in design or name in design
+
+    def test_every_registry_entry_has_a_benchmark(self):
+        bench_dir = REPO / "benchmarks"
+        benches = {p.stem for p in bench_dir.glob("bench_*.py")}
+        for name in REGISTRY:
+            assert f"bench_{name}" in benches, f"no benchmark for {name}"
+
+    def test_readme_points_to_design_and_experiments(self):
+        readme = (REPO / "README.md").read_text()
+        assert "DESIGN.md" in readme and "EXPERIMENTS.md" in readme
+
+    def test_experiments_md_covers_all_artifacts(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for anchor in ("Fig. 1(a)", "Fig. 5(a)", "Fig. 7", "Fig. 8", "Fig. 10",
+                       "Fig. 11", "Fig. 14", "Fig. 15", "Fig. 16", "Fig. 17",
+                       "Fig. 18", "Fig. 19", "Table 1", "Table 4",
+                       "Sec. 7.3.1", "Sec. 7.4"):
+            assert anchor in text, f"EXPERIMENTS.md missing {anchor}"
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        examples = list((REPO / "examples").glob("*.py"))
+        assert len(examples) >= 3
+        names = {p.name for p in examples}
+        assert "quickstart.py" in names
+
+    def test_examples_import_public_api_only(self):
+        for path in (REPO / "examples").glob("*.py"):
+            text = path.read_text()
+            assert "import repro" in text or "from repro" in text

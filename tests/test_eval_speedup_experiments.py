@@ -1,0 +1,106 @@
+"""Tests for pricing/speedup tables and the experiment infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.config import get_model_spec
+from repro.eval.harness import EvalRun
+from repro.eval.speedup import priced_run, speedup_table
+from repro.experiments.common import (
+    SCALES,
+    engine_factory,
+    get_scale,
+    rig_for,
+    throughput_run,
+)
+from repro.hardware.ledger import CostLedger, Event
+
+
+def run_with(layers_per_token: float, tokens: int = 10) -> EvalRun:
+    run = EvalRun(dataset="d", engine="e")
+    run.ledger.add(Event.DECODER_LAYER, calls=layers_per_token * tokens)
+    run.ledger.add(Event.LM_HEAD_FULL, calls=tokens)
+    run.ledger.tokens_generated = tokens
+    run.ledger.steps = tokens
+    return run
+
+
+class TestSpeedupTable:
+    def test_ratio_and_geomean(self):
+        model = get_model_spec("llama2-7b")
+        base = {"a": priced_run(run_with(32), model, "a100-80g", "hf"),
+                "b": priced_run(run_with(32), model, "a100-80g", "hf")}
+        fast = {"a": priced_run(run_with(24), model, "a100-80g", "hf"),
+                "b": priced_run(run_with(20), model, "a100-80g", "hf")}
+        table = speedup_table(base, fast)
+        assert table["a"]["speedup"] > 1.1
+        assert table["b"]["speedup"] > table["a"]["speedup"]
+        geo = table["geomean"]["speedup"]
+        assert min(table["a"]["speedup"], table["b"]["speedup"]) < geo
+        assert geo < max(table["a"]["speedup"], table["b"]["speedup"])
+
+    def test_missing_keys_skipped(self):
+        model = get_model_spec("llama2-7b")
+        base = {"a": priced_run(run_with(32), model, "a100-80g", "hf")}
+        table = speedup_table(base, {})
+        assert "a" not in table
+
+
+class TestScales:
+    def test_registry(self):
+        assert {"small", "medium", "full"} == set(SCALES)
+        assert SCALES["small"].n_items < SCALES["full"].n_items
+
+    def test_get_scale_passthrough(self):
+        sc = SCALES["small"]
+        assert get_scale(sc) is sc
+        assert get_scale("medium").name == "medium"
+        with pytest.raises(KeyError):
+            get_scale("enormous")
+
+
+class TestEngineFactory:
+    @pytest.fixture(scope="class")
+    def rig(self):
+        return rig_for("llama2-7b", None, get_scale("small"))
+
+    def test_unknown_kind(self, rig):
+        with pytest.raises(ValueError):
+            engine_factory("warp-drive", rig, get_scale("small"))
+
+    def test_factories_produce_fresh_engines(self, rig):
+        factory = engine_factory("dense", rig, get_scale("small"))
+        assert factory() is not factory()
+
+    def test_all_kinds_generate(self, rig):
+        sc = get_scale("small")
+        for kind in ("dense", "specee", "specee_t1", "adainfer", "raee",
+                     "eagle", "specee_eagle"):
+            engine = engine_factory(kind, rig, sc)()
+            result = engine.generate([4, 8, 2], 12)
+            assert len(result.tokens) == 12, kind
+
+    def test_throughput_run_merges_prompts(self, rig):
+        sc = get_scale("small")
+        run = throughput_run("dense", rig, sc)
+        assert run.ledger.tokens_generated >= sc.gen_tokens - 3
+        assert run.avg_layers == pytest.approx(32.0)
+
+
+class TestLedgerPricingConsistency:
+    def test_same_ledger_two_devices(self):
+        """One trace, two devices: the slower device must not change the
+        relative event mix, only the absolute times."""
+        model = get_model_spec("llama2-7b")
+        run = run_with(24)
+        fast = priced_run(run, model, "a100-80g", "vllm")
+        slow = priced_run(run, model, "rtx4090", "vllm")
+        assert slow.latency.total_s > fast.latency.total_s
+        assert fast.latency.tokens_generated == slow.latency.tokens_generated
+
+    def test_price_is_pure(self):
+        model = get_model_spec("llama2-7b")
+        run = run_with(24)
+        a = priced_run(run, model, "a100-80g", "hf").latency.total_s
+        b = priced_run(run, model, "a100-80g", "hf").latency.total_s
+        assert a == b

@@ -1,0 +1,155 @@
+"""Integration smoke tests: every paper-artifact experiment runs at small
+scale and reproduces the paper's qualitative shape.
+
+These share the process-level rig/asset caches, so the suite trains each
+model's predictors once.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import REGISTRY
+
+
+@pytest.fixture(scope="module")
+def results():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = REGISTRY[name].run("small")
+        return cache[name]
+
+    return get
+
+
+class TestRegistry:
+    def test_all_artifacts_present(self):
+        expected = {
+            "fig01_pareto", "fig01_layer_share", "fig05_probability_shift",
+            "fig06_feature_necessity", "fig07_forward_layers", "fig08_dse",
+            "fig10_distribution", "fig11_context_similarity", "fig14_cloud_ar",
+            "fig15_cloud_spec", "fig16_pc", "fig17_memory",
+            "fig18_training_ratio", "fig19_ablation", "table01_related",
+            "table02_03_configs", "table04_accuracy", "sec73_energy",
+            "sec74_overhead",
+        }
+        assert expected == set(REGISTRY)
+
+
+class TestMotivation:
+    def test_fig01_layer_share_dominates(self, results):
+        r = results("fig01_layer_share")
+        assert 70 <= r.metric("ar_share_llama2-7b") <= 97
+        assert 60 <= r.metric("spec_share_llama2-7b") <= 97
+
+    def test_fig05_probability_shift(self, results):
+        r = results("fig05_probability_shift")
+        assert r.metric("hit_final_top_prob") > 0.6
+        assert r.metric("miss_final_top_prob") < 0.1
+        assert r.metric("shift_layer_error") <= 2.0
+
+
+class TestPredictor:
+    def test_fig06_all_features_necessary(self, results):
+        r = results("fig06_feature_necessity")
+        assert r.metric("full_accuracy") > 80
+        assert r.metric("variation_only_gap") > 2
+        assert r.metric("probs_only_gap") > 2
+
+    def test_fig08_dse_optimum(self, results):
+        r = results("fig08_dse")
+        assert r.metric("acc_2layer_512") > 85
+        assert r.metric("optimality_gap") < 4.0
+        assert r.metric("time_2layer_512_ms") < 1.0
+
+    def test_fig18_small_data_suffices(self, results):
+        r = results("fig18_training_ratio")
+        assert r.metric("plateau_gap_llama2-7b") < 15.0
+
+    def test_fig07_specee_close_to_theoretical(self, results):
+        r = results("fig07_forward_layers")
+        assert r.metric("specee_norm_llama2-7b") > 80
+        assert (r.metric("specee_norm_llama2-7b")
+                >= r.metric("adainfer_norm_llama2-7b") - 8)
+
+
+class TestScheduling:
+    def test_fig10_skew_and_dynamic_wins(self, results):
+        r = results("fig10_distribution")
+        assert r.metric("below_avg_layer_share_llama2-7b") > 0.35
+        assert r.metric("bottom_half_mass_llama2-7b") < 0.25
+        assert r.metric("dynamic_speedup") > r.metric("best_fixed_speedup") - 0.05
+
+    def test_fig11_context_similarity_gap(self, results):
+        r = results("fig11_context_similarity")
+        assert r.metric("actual_hit_n5") > r.metric("theoretical_hit_n5") + 15
+        assert 6 <= r.metric("avg_union_n5") <= 18
+
+
+class TestEndToEnd:
+    def test_fig14_cloud_speedups(self, results):
+        r = results("fig14_cloud_ar")
+        for key, value in r.headline.items():
+            assert value > 1.0, f"{key} not a speedup: {value}"
+
+    def test_fig15_specee_helps_eagle(self, results):
+        r = results("fig15_cloud_spec")
+        assert r.metric("speedup_eagle_llama2-7b") > 0.95
+
+    def test_fig16_pc_speedups(self, results):
+        r = results("fig16_pc")
+        assert r.metric("speedup_llama.cpp") > 1.1
+        assert r.metric("speedup_powerinfer") > 1.05
+
+    def test_fig19_ablation_monotone(self, results):
+        r = results("fig19_ablation")
+        assert 1.0 < r.metric("speedup_t1")
+        assert r.metric("speedup_t1") < r.metric("speedup_t1_t2")
+        assert r.metric("speedup_t1_t2") < r.metric("speedup_total")
+
+    def test_fig01_pareto_pushed(self, results):
+        r = results("fig01_pareto")
+        assert r.metric("specee_hf_speedup") > 1.0
+        assert r.metric("specee_norm_accuracy") > 0.97
+
+
+class TestAccuracyAndOverheads:
+    def test_table04_accuracy_preserved(self, results):
+        r = results("table04_accuracy")
+        assert r.metric("max_acc_delta_llama2-7b") <= 6.0
+        layers = r.metric("specee_layers_llama2-7b_mmlu")
+        assert 18 < layers < 29
+
+    def test_table01_specee_lightest_prediction(self, results):
+        r = results("table01_related")
+        assert (r.metric("predict_share_specee")
+                < r.metric("predict_share_adainfer"))
+        assert r.metric("tps_specee") > r.metric("tps_adainfer")
+
+    def test_fig17_memory_overheads(self, results):
+        r = results("fig17_memory")
+        assert 0.5 < r.metric("overhead_gib_llama2-7b") < 1.3
+        assert 0.9 < r.metric("overhead_gib_llama2-13b") < 1.9
+        assert r.metric("predictors_kib_llama2-7b") < 1024
+
+    def test_sec73_energy_direction(self, results):
+        r = results("sec73_energy")
+        assert r.metric("specee_power_w") < r.metric("dense_power_w")
+        assert r.metric("energy_efficiency_x") > 1.05
+        assert 120 < r.metric("predictor_power_a100_w") < 170
+
+    def test_sec74_predictor_overhead_small(self, results):
+        r = results("sec74_overhead")
+        assert r.metric("predictor_share_pct") < 12.0
+        assert r.metric("seconds_per_token") < 0.05
+
+    def test_configs_tables(self, results):
+        r = results("table02_03_configs")
+        assert r.metric("n_models") >= 4
+
+    def test_render_all(self, results):
+        for name in ("fig19_ablation", "table04_accuracy"):
+            text = results(name).render()
+            assert "====" in text and "|" in text

@@ -1,0 +1,190 @@
+"""Tests for the hardware models: ledger, latency, energy, memory."""
+
+import numpy as np
+import pytest
+
+from repro.config import get_model_spec
+from repro.hardware.devices import DEVICES, get_device
+from repro.hardware.energy import EnergyModel
+from repro.hardware.frameworks import FRAMEWORKS, get_framework
+from repro.hardware.latency import LatencyModel
+from repro.hardware.ledger import CostLedger, Event
+from repro.hardware.memory import MemoryModel
+
+
+class TestLedger:
+    def test_add_and_counts(self):
+        ledger = CostLedger()
+        ledger.add(Event.DECODER_LAYER, calls=3)
+        ledger.add(Event.LM_HEAD_SLICE, units=4)
+        assert ledger.calls(Event.DECODER_LAYER) == 3
+        assert ledger.units(Event.DECODER_LAYER) == 3
+        assert ledger.units(Event.LM_HEAD_SLICE) == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().add("not_an_event")
+
+    def test_merge_accumulates(self):
+        a, b = CostLedger(), CostLedger()
+        a.add(Event.DECODER_LAYER, calls=2)
+        b.add(Event.DECODER_LAYER, calls=5)
+        b.tokens_generated = 3
+        b.steps = 3
+        a.merge(b)
+        assert a.calls(Event.DECODER_LAYER) == 7
+        assert a.tokens_generated == 3
+        assert a.steps == 3
+
+    def test_copy_independent(self):
+        a = CostLedger()
+        a.add(Event.PREDICTOR)
+        c = a.copy()
+        c.add(Event.PREDICTOR)
+        assert a.calls(Event.PREDICTOR) == 1
+
+    def test_layers_per_token(self):
+        ledger = CostLedger()
+        ledger.add(Event.DECODER_LAYER, calls=48)
+        ledger.tokens_generated = 2
+        assert ledger.decoder_layers_per_token == 24
+
+
+class TestDevicesFrameworks:
+    def test_registries_complete(self):
+        assert {"a100-80g", "rtx4090", "rtx4060-laptop"} <= set(DEVICES)
+        assert {"hf", "vllm", "awq", "llama.cpp", "powerinfer"} <= set(FRAMEWORKS)
+
+    def test_unknown_lookups(self):
+        with pytest.raises(KeyError):
+            get_device("tpu")
+        with pytest.raises(KeyError):
+            get_framework("tensorrt")
+
+    def test_awq_uses_narrow_weights(self):
+        assert get_framework("awq").weight_bytes_per_param < 1.0
+
+    def test_offload_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            get_framework("hf").with_overrides(gpu_weight_fraction=0.0)
+
+
+def make_ledger(layers=32, tokens=10):
+    ledger = CostLedger()
+    ledger.add(Event.DECODER_LAYER, calls=layers * tokens)
+    ledger.add(Event.LM_HEAD_FULL, calls=tokens)
+    ledger.tokens_generated = tokens
+    ledger.steps = tokens
+    return ledger
+
+
+class TestLatencyModel:
+    def test_hf_7b_a100_calibration(self):
+        """Modelled HF Llama2-7B on A100 lands near the paper's ~42 tok/s."""
+        model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+        tps = model.price(make_ledger()).tokens_per_second
+        assert 35 < tps < 50
+
+    def test_bigger_model_slower(self):
+        l7 = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+        l13 = LatencyModel(get_model_spec("llama2-13b"), "a100-80g", "hf")
+        t7 = l7.price(make_ledger(32)).total_s
+        t13 = l13.price(make_ledger(40)).total_s
+        assert t13 > t7
+
+    def test_more_bandwidth_faster(self):
+        spec = get_model_spec("llama2-7b")
+        a100 = LatencyModel(spec, "a100-80g", "vllm").price(make_ledger()).total_s
+        laptop = LatencyModel(spec, "rtx4060-laptop", "vllm").price(make_ledger()).total_s
+        assert laptop > a100
+
+    def test_fewer_layers_faster(self):
+        model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+        full = model.price(make_ledger(32)).total_s
+        early = model.price(make_ledger(23)).total_s
+        assert early < full * 0.85
+
+    def test_batched_verify_cheaper_than_serial(self):
+        model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+        assert model.decoder_layer_time(10.0) < 5 * model.decoder_layer_time(1.0)
+
+    def test_per_event_sums_to_total_minus_overhead(self):
+        model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+        ledger = make_ledger()
+        breakdown = model.price(ledger)
+        accounted = sum(breakdown.per_event_s.values())
+        overhead = ledger.steps * model.framework.token_overhead_us * 1e-6
+        assert breakdown.total_s == pytest.approx(accounted + overhead)
+
+    def test_offload_requires_cpu(self):
+        with pytest.raises(ValueError):
+            LatencyModel(get_model_spec("llama2-7b"), "rtx4060-laptop", "llama.cpp")
+
+    def test_offload_prices_cpu_share(self):
+        spec = get_model_spec("llama2-7b")
+        hybrid = LatencyModel(spec, "rtx4060-laptop", "llama.cpp",
+                              cpu_device="i7-13650hx")
+        tps = hybrid.price(make_ledger()).tokens_per_second
+        assert 3 < tps < 12  # the paper's llama.cpp baseline is ~5.6 tok/s
+
+    def test_predictor_time_small_vs_layer(self):
+        model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+        assert model.predictor_time() < 0.2 * model.decoder_layer_time()
+
+
+class TestEnergyModel:
+    def test_power_between_idle_and_tdp(self):
+        device = get_device("a100-80g")
+        energy = EnergyModel(device)
+        for kind in Event.ALL:
+            p = energy.power_during(kind)
+            assert device.idle_w <= p <= device.tdp_w
+
+    def test_dense_power_calibration(self):
+        """Dense decode draws ~200 W on the A100 (paper Sec. 7.3.1)."""
+        model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+        report = EnergyModel(get_device("a100-80g")).report(model.price(make_ledger()))
+        assert 175 < report.avg_power_w < 225
+
+    def test_early_exit_reduces_power_and_energy(self):
+        model = LatencyModel(get_model_spec("llama2-7b"), "a100-80g", "hf")
+        energy = EnergyModel(get_device("a100-80g"))
+        dense = energy.report(model.price(make_ledger(32)))
+        # Early-exit ledger: fewer layers plus predictor/draft events.
+        ledger = make_ledger(23)
+        ledger.add(Event.PREDICTOR, calls=8 * 10)
+        ledger.add(Event.DRAFT_STEP, calls=10)
+        specee = energy.report(model.price(ledger))
+        assert specee.avg_power_w < dense.avg_power_w
+        assert specee.energy_per_token_j < dense.energy_per_token_j
+
+
+class TestMemoryModel:
+    def test_draft_overhead_magnitudes(self):
+        m7 = MemoryModel(get_model_spec("llama2-7b"), use_draft=True)
+        m13 = MemoryModel(get_model_spec("llama2-13b"), use_draft=True)
+        assert 0.6 < m7.draft_gib < 1.2      # paper ~0.9 GB
+        assert 1.0 < m13.draft_gib < 1.8     # paper ~1.4 GB
+
+    def test_predictors_negligible(self):
+        from repro.core.predictor import PredictorBank
+
+        bank = PredictorBank(32, feature_dim=12, hidden_dim=512)
+        model = MemoryModel(get_model_spec("llama2-7b"),
+                            predictor_params=bank.total_params)
+        assert 300 < model.predictors_kib < 900  # paper quotes ~416 KB (no biases)
+
+    def test_kv_growth_linear(self):
+        model = MemoryModel(get_model_spec("llama2-7b"))
+        assert model.kv_gib(2000) == pytest.approx(2 * model.kv_gib(1000))
+
+    def test_timeline_monotone(self):
+        model = MemoryModel(get_model_spec("llama2-7b"), use_draft=True)
+        timeline = model.timeline(3000, points=10)
+        assert all(b >= a for a, b in zip(timeline.gib, timeline.gib[1:]))
+
+    def test_overhead_vs_baseline(self):
+        spec = get_model_spec("llama2-7b")
+        base = MemoryModel(spec)
+        specee = MemoryModel(spec, use_draft=True, predictor_params=100_000)
+        assert specee.overhead_vs(base) > 0.5

@@ -1,0 +1,135 @@
+"""Tests for T3 machinery: grouped GEMM, greedy acceptance, hyper-tokens."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.grouped_gemm import GroupSpec, grouped_gemm, tree_children_logits
+from repro.mapping.hyper_token import HyperToken, aggregate_path_logits, merged_mapping
+from repro.mapping.tree import greedy_accept
+from repro.model.draft import DraftTree
+
+
+class TestGroupedGemm:
+    def test_matches_naive_loop(self):
+        rng = np.random.default_rng(0)
+        acts = rng.standard_normal((5, 8))
+        weight = rng.standard_normal((8, 20))
+        groups = [GroupSpec(row=0, columns=(1, 3)),
+                  GroupSpec(row=2, columns=(0, 5, 9, 19)),
+                  GroupSpec(row=4, columns=(7,))]
+        out = grouped_gemm(acts, weight, groups, block=4)
+        for g, o in zip(groups, out):
+            expected = acts[g.row] @ weight[:, list(g.columns)]
+            assert np.allclose(o, expected)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=25, deadline=None)
+    def test_block_size_irrelevant_to_result(self, n_groups, block):
+        rng = np.random.default_rng(n_groups * 100 + block)
+        acts = rng.standard_normal((4, 6))
+        weight = rng.standard_normal((6, 12))
+        groups = [GroupSpec(row=i % 4, columns=tuple(
+            int(c) for c in rng.choice(12, size=rng.integers(1, 5), replace=False)))
+            for i in range(n_groups)]
+        base = grouped_gemm(acts, weight, groups, block=1)
+        other = grouped_gemm(acts, weight, groups, block=block)
+        for a, b in zip(base, other):
+            assert np.allclose(a, b)
+
+    def test_empty_groups(self):
+        assert grouped_gemm(np.zeros((1, 2)), np.zeros((2, 3)), []) == []
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_gemm(np.zeros((1, 3)), np.zeros((2, 3)), [GroupSpec(0, (0,))])
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError):
+            GroupSpec(row=0, columns=())
+
+    def test_tree_children_logits_skips_leaves(self):
+        rng = np.random.default_rng(1)
+        hidden = rng.standard_normal((3, 4))
+        head = rng.standard_normal((4, 10))
+        out = tree_children_logits(hidden, head, [[1, 2], [], [5]])
+        assert out[1].size == 0
+        assert np.allclose(out[0], hidden[0] @ head[:, [1, 2]])
+        assert np.allclose(out[2], hidden[2] @ head[:, [5]])
+
+
+class TestGreedyAccept:
+    def _tree(self):
+        tree = DraftTree()
+        a = tree.add(10, -1)   # root children
+        b = tree.add(11, -1)
+        c = tree.add(20, a)    # a's child
+        d = tree.add(30, c)    # chain
+        return tree, (a, b, c, d)
+
+    def test_full_chain_accepted(self):
+        tree, (a, b, c, d) = self._tree()
+        outputs = [20, 0, 30, 40]  # node a predicts 20, c predicts 30, d predicts 40
+        res = greedy_accept(tree, root_output=10, node_outputs=outputs)
+        assert res.accepted_tokens == [10, 20, 30]
+        assert res.bonus_token == 40
+        assert res.tokens == [10, 20, 30, 40]
+
+    def test_no_match_gives_bonus_only(self):
+        tree, _ = self._tree()
+        res = greedy_accept(tree, root_output=99, node_outputs=[0, 0, 0, 0])
+        assert res.accepted_tokens == []
+        assert res.bonus_token == 99
+
+    def test_partial_chain(self):
+        tree, _ = self._tree()
+        res = greedy_accept(tree, root_output=11, node_outputs=[0, 55, 0, 0])
+        assert res.accepted_tokens == [11]
+        assert res.bonus_token == 55
+
+    def test_rejects_misaligned_outputs(self):
+        tree, _ = self._tree()
+        with pytest.raises(ValueError):
+            greedy_accept(tree, 0, [1, 2])
+
+
+class TestHyperToken:
+    def test_merged_mapping_one_per_leaf(self):
+        tree = DraftTree()
+        a = tree.add(1, -1)
+        b = tree.add(2, -1)
+        c = tree.add(3, a)
+        hypers = merged_mapping(tree)
+        assert len(hypers) == 2
+        assert {h.tokens for h in hypers} == {(2,), (1, 3)}
+
+    def test_hashable(self):
+        h = HyperToken(nodes=(0, 1), tokens=(5, 6))
+        assert h in {h}
+
+    def test_aggregation_is_bottleneck(self):
+        """The least-saturated path member gates the aggregate."""
+        per_node = [np.array([10.0, 2.0]), np.array([1.5, 1.0])]
+        hyper = HyperToken(nodes=(0, 1), tokens=(5, 6))
+        agg = aggregate_path_logits(per_node, hyper, k=2)
+        assert agg[0] == pytest.approx(1.5)  # node 1 bottlenecks
+        strong = aggregate_path_logits([np.array([10.0, 2.0]), np.array([9.0, 1.0])],
+                                       hyper, k=2)
+        assert strong[0] == pytest.approx(9.0)
+
+    def test_aggregation_pads_with_min(self):
+        per_node = [np.array([4.0])]
+        hyper = HyperToken(nodes=(0,), tokens=(5,))
+        agg = aggregate_path_logits(per_node, hyper, k=3)
+        assert np.allclose(agg, [4.0, 4.0, 4.0])
+
+    def test_leaves_skipped_root_included(self):
+        per_node = [np.empty(0)]
+        hyper = HyperToken(nodes=(0,), tokens=(5,))
+        agg = aggregate_path_logits(per_node, hyper, k=2,
+                                    include_root=np.array([3.0, 1.0]))
+        assert np.allclose(agg, [3.0, 1.0])
+
+    def test_no_contributors_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_path_logits([np.empty(0)], HyperToken((0,), (5,)), k=2)

@@ -1,0 +1,145 @@
+"""Tests for the oracle language and the exit-layer (difficulty) process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.difficulty import ExitLayerProcess, ExitProfile, measured_vicinity_hit
+from repro.model.oracle import NGramOracle
+
+
+class TestOracle:
+    def setup_method(self):
+        self.oracle = NGramOracle(128, order=3, seed=7)
+
+    def test_target_deterministic(self):
+        ctx = [3, 5, 9]
+        assert self.oracle.target(ctx) == self.oracle.target(list(ctx))
+
+    def test_target_in_vocab(self):
+        for i in range(40):
+            assert 0 <= self.oracle.target([i, i + 1, i + 2]) < 128
+
+    def test_alternatives_exclude_target(self):
+        ctx = [4, 4, 8]
+        target = self.oracle.target(ctx)
+        alts = self.oracle.alternatives(ctx, 6)
+        assert target not in alts
+        assert len(set(alts)) == 6
+
+    def test_offspec_distractor_excluded(self):
+        ctx = [1, 2, 3]
+        alts = self.oracle.alternatives(ctx, 8)
+        d = self.oracle.offspec_distractor(ctx, exclude=alts)
+        assert d not in alts
+        assert d != self.oracle.target(ctx)
+
+    def test_distribution_is_probability(self):
+        dist = self.oracle.distribution([9, 9, 9])
+        assert np.isclose(dist.sum(), 1.0)
+        assert np.all(dist >= 0)
+        assert int(np.argmax(dist)) == self.oracle.target([9, 9, 9])
+
+    def test_continuation_consistency(self):
+        ctx = [5, 6, 7]
+        cont = self.oracle.continuation(ctx, 10)
+        replay = []
+        c = list(ctx)
+        for _ in range(10):
+            t = self.oracle.target(c)
+            replay.append(t)
+            c.append(t)
+        assert cont == replay
+
+    def test_no_absorbing_repetition(self):
+        """The positional drift bucket must break fixed-point loops."""
+        ctx = [10, 10, 10]
+        cont = self.oracle.continuation(ctx, 200)
+        # Some token may repeat locally, but not for the whole horizon.
+        assert len(set(cont)) > 3
+
+    def test_zipf_marginal_is_skewed(self):
+        targets = [self.oracle.target([i, 2 * i, 3 * i]) for i in range(800)]
+        counts = np.bincount(targets, minlength=128)
+        top10 = np.sort(counts)[-10:].sum()
+        assert top10 > 0.3 * len(targets)
+
+    def test_uniform_hash_range_and_determinism(self):
+        u = self.oracle.uniform_hash([1, 2, 3], "tag")
+        assert 0.0 <= u < 1.0
+        assert u == self.oracle.uniform_hash([1, 2, 3], "tag")
+
+    def test_different_seeds_different_language(self):
+        other = NGramOracle(128, order=3, seed=8)
+        same = sum(self.oracle.target([i, i, i]) == other.target([i, i, i])
+                   for i in range(100))
+        assert same < 30
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            NGramOracle(4)
+        with pytest.raises(ValueError):
+            NGramOracle(64, order=0)
+
+
+class TestExitProfile:
+    def test_weights_sum_to_one(self):
+        p = ExitProfile.from_params(32)
+        assert np.isclose(sum(p.weights), 1.0)
+
+    def test_full_depth_atom(self):
+        p = ExitProfile.from_params(32, full_depth_rate=0.15)
+        assert p.weights[-1] == pytest.approx(0.15, abs=1e-6)
+
+    def test_min_layer_floor(self):
+        p = ExitProfile.from_params(32, min_layer=6)
+        assert all(w == 0 for w in p.weights[:6])
+
+    def test_mean_layer_tracks_peak(self):
+        low = ExitProfile.from_params(32, peak_frac=0.4, full_depth_rate=0.0)
+        high = ExitProfile.from_params(32, peak_frac=0.7, full_depth_rate=0.0)
+        assert low.mean_layer < high.mean_layer
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            ExitProfile(n_layers=4, weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            ExitProfile(n_layers=2, weights=(0.7, 0.7))
+
+    def test_theoretical_vicinity_hit_bounds(self):
+        p = ExitProfile.from_params(32)
+        hit = p.theoretical_vicinity_hit()
+        assert 0.0 < hit < 1.0
+
+
+class TestExitLayerProcess:
+    def test_samples_in_range(self):
+        proc = ExitLayerProcess(ExitProfile.from_params(32), seed=1)
+        seq = proc.sequence(200)
+        assert all(0 <= s <= 31 for s in seq)
+
+    def test_context_similarity_exceeds_independent(self):
+        profile = ExitProfile.from_params(32)
+        similar = ExitLayerProcess(profile, seed=2, similarity=0.85)
+        independent = ExitLayerProcess(profile, seed=2, similarity=0.0)
+        hit_sim = measured_vicinity_hit(similar.sequence(800), exclude_layer=31)
+        hit_ind = measured_vicinity_hit(independent.sequence(800), exclude_layer=31)
+        assert hit_sim > hit_ind + 0.15
+
+    def test_reset_clears_history(self):
+        proc = ExitLayerProcess(ExitProfile.from_params(32), seed=3)
+        proc.sequence(10)
+        proc.reset()
+        assert len(proc._recent) == 0
+
+    def test_rejects_bad_similarity(self):
+        with pytest.raises(ValueError):
+            ExitLayerProcess(ExitProfile.from_params(32), similarity=1.5)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_given_seed(self, seed):
+        p = ExitProfile.from_params(16, min_layer=2)
+        a = ExitLayerProcess(p, seed=seed).sequence(20)
+        b = ExitLayerProcess(p, seed=seed).sequence(20)
+        assert a == b

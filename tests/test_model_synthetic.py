@@ -1,0 +1,165 @@
+"""Tests for the synthetic layered LM — the planted probability shift."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimDims
+from repro.model.profiles import get_profile
+from repro.model.synthetic import SyntheticLayeredLM
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return SyntheticLayeredLM(get_profile("llama2-7b"), SimDims(), seed=42)
+
+
+class TestInterfaceContract:
+    def test_start_requires_prompt(self, lm):
+        with pytest.raises(ValueError):
+            lm.start([])
+
+    def test_layers_must_run_in_order(self, lm):
+        state = lm.start([1, 2, 3])
+        lm.begin_step(state)
+        lm.layer_forward(state, 0)
+        with pytest.raises(ValueError):
+            lm.layer_forward(state, 2)
+
+    def test_layer_out_of_range(self, lm):
+        state = lm.start([1, 2, 3])
+        lm.begin_step(state)
+        with pytest.raises(ValueError):
+            lm.run_to_layer(state, lm.n_layers)
+
+    def test_forward_before_begin_raises(self, lm):
+        state = lm.start([1, 2, 3])
+        with pytest.raises(RuntimeError):
+            lm.layer_forward(state, 0)
+
+    def test_commit_resets_cursor(self, lm):
+        state = lm.start([1, 2, 3])
+        lm.begin_step(state)
+        h = lm.run_to_layer(state, 5)
+        lm.commit(state, 7, 5)
+        assert state.layer_cursor == -1
+        assert state.context[-1] == 7
+
+
+class TestPlantedDynamics:
+    def test_dense_output_equals_target(self, lm):
+        state = lm.start([5, 9, 2, 44])
+        for _ in range(40):
+            lm.begin_step(state)
+            target = state.plan.target
+            hidden = lm.run_to_layer(state, lm.n_layers - 1)
+            assert lm.greedy_token(hidden) == target
+            lm.commit(state, target, lm.n_layers - 1)
+
+    def test_argmax_flips_exactly_at_saturation(self, lm):
+        state = lm.start([1, 2, 3])
+        checked = 0
+        for _ in range(30):
+            lm.begin_step(state)
+            plan = state.plan
+            argmaxes = [
+                int(np.argmax(lm.lm_head_full(lm.layer_forward(state, l))))
+                for l in range(lm.n_layers)
+            ]
+            sat = plan.saturation_layer
+            if 8 <= sat <= lm.n_layers - 3:
+                checked += 1
+                assert argmaxes[sat] == plan.target
+                pre = sat - 6
+                in_transient = plan.transient is not None and (
+                    plan.transient[1] <= pre <= plan.transient[2])
+                if pre >= 0 and not in_transient:
+                    assert argmaxes[pre] == plan.dominant
+            lm.commit(state, argmaxes[-1], lm.n_layers - 1)
+        assert checked > 5
+
+    def test_lm_head_slice_matches_full(self, lm):
+        state = lm.start([3, 3, 3])
+        lm.begin_step(state)
+        h = lm.run_to_layer(state, 10)
+        ids = np.array([5, 100, 200])
+        assert np.allclose(lm.lm_head_slice(h, ids), lm.lm_head_full(h)[ids])
+
+    def test_hidden_unit_norm(self, lm):
+        state = lm.start([4, 4, 4])
+        lm.begin_step(state)
+        h = lm.run_to_layer(state, 3)
+        assert np.linalg.norm(h) == pytest.approx(1.0, abs=1e-9)
+
+    def test_probability_trajectory_shift(self, lm):
+        state = lm.start([8, 8, 8])
+        lm.begin_step(state)
+        plan = state.plan
+        traj = lm.probability_trajectory(state, [plan.target])
+        sat = plan.saturation_layer
+        if 4 <= sat <= lm.n_layers - 3:
+            assert traj[max(sat - 5, 0), 0] < 0.2
+            assert traj[min(sat + 2, lm.n_layers - 1), 0] > 0.5
+
+    def test_transient_rate_controls_spikes(self):
+        base = get_profile("llama2-7b")
+        lm_t = SyntheticLayeredLM(base.with_overrides(transient_rate=1.0), SimDims(), seed=1)
+        state = lm_t.start([2, 4, 6])
+        spikes = 0
+        for _ in range(20):
+            lm_t.begin_step(state)
+            spikes += state.plan.transient is not None
+            lm_t.commit(state, state.plan.target, lm_t.n_layers - 1)
+        assert spikes > 10
+
+    def test_scripted_targets_override_oracle(self, lm):
+        script = [9, 17, 33]
+        state = lm.start([1, 1, 1], script=script)
+        for expected in script:
+            lm.begin_step(state)
+            assert state.plan.target == expected
+            lm.commit(state, expected, lm.n_layers - 1)
+
+    def test_determinism_across_instances(self):
+        a = SyntheticLayeredLM(get_profile("llama2-7b"), SimDims(), seed=9)
+        b = SyntheticLayeredLM(get_profile("llama2-7b"), SimDims(), seed=9)
+        sa, sb = a.start([7, 7, 7]), b.start([7, 7, 7])
+        assert a.generate_dense(sa, 12) == b.generate_dense(sb, 12)
+
+
+class TestTreeMode:
+    def test_tree_layers_run_in_order(self, lm):
+        state = lm.start([2, 3, 4])
+        lm.begin_tree(state, [10, 11, 12], [-1, -1, 0])
+        lm.tree_layer_forward(state, 0)
+        with pytest.raises(ValueError):
+            lm.tree_layer_forward(state, 2)
+
+    def test_tree_hidden_shape(self, lm):
+        state = lm.start([2, 3, 4])
+        lm.begin_tree(state, [10, 11, 12, 13], [-1, -1, 0, 2])
+        h = lm.tree_layer_forward(state, 0)
+        assert h.shape == (4, lm.hidden_dim)
+
+    def test_end_tree_commits_tokens(self, lm):
+        state = lm.start([2, 3, 4])
+        lm.begin_tree(state, [10, 11], [-1, -1])
+        lm.tree_layer_forward(state, 0)
+        lm.end_tree(state, [10, 99], exit_layer=20)
+        assert state.context[-2:] == [10, 99]
+        assert state.tree is None
+
+    def test_node_outputs_saturate_to_path_targets(self, lm):
+        state = lm.start([6, 6, 6])
+        tokens, parents = [20, 30], [-1, 0]
+        tree = lm.begin_tree(state, tokens, parents)
+        hidden = None
+        for layer in range(lm.n_layers):
+            hidden = lm.tree_layer_forward(state, layer)
+        for i, plan in enumerate(tree.plans):
+            out = int(np.argmax(lm.lm_head_full(hidden[i])))
+            assert out == plan.target
+
+    def test_mismatched_parents_rejected(self, lm):
+        state = lm.start([2, 3, 4])
+        with pytest.raises(ValueError):
+            lm.begin_tree(state, [1, 2], [-1])

@@ -1,0 +1,137 @@
+"""Tests for the KV cache, causal attention and transformer stacks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import CausalSelfAttention, KVCache
+from repro.nn.autograd import cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.transformer import (
+    TinyTransformerLM,
+    TrainableTransformerLM,
+    TransformerConfig,
+)
+
+CFG = TransformerConfig(vocab_size=48, dim=32, n_layers=3, n_heads=4,
+                        intermediate_dim=48, max_positions=64)
+
+
+class TestKVCache:
+    def test_append_and_view(self):
+        cache = KVCache(2, 2, 4, 8)
+        k = np.ones((2, 3, 4))
+        cache.append(0, k, k * 2)
+        keys, values = cache.view(0)
+        assert keys.shape == (2, 3, 4)
+        assert np.allclose(values, 2.0)
+        assert cache.length(1) == 0
+
+    def test_overflow_raises(self):
+        cache = KVCache(1, 1, 2, 2)
+        cache.append(0, np.zeros((1, 2, 2)), np.zeros((1, 2, 2)))
+        with pytest.raises(ValueError):
+            cache.append(0, np.zeros((1, 1, 2)), np.zeros((1, 1, 2)))
+
+    def test_truncate(self):
+        cache = KVCache(1, 1, 2, 8)
+        cache.append(0, np.ones((1, 4, 2)), np.ones((1, 4, 2)))
+        cache.truncate(0, 2)
+        assert cache.length(0) == 2
+        with pytest.raises(ValueError):
+            cache.truncate(0, 5)
+
+    def test_nbytes_positive(self):
+        assert KVCache(2, 2, 4, 8).nbytes() > 0
+
+
+class TestCausalAttention:
+    def test_incremental_equals_full(self):
+        """The load-bearing property: decoding token-by-token with the cache
+        must reproduce the full-sequence forward bit-for-bit."""
+        rng = np.random.default_rng(0)
+        attn = CausalSelfAttention(16, 4, rng, max_positions=32)
+        x = rng.standard_normal((6, 16))
+        full_cache = KVCache(1, 4, 4, 32)
+        full = attn.forward(x, 0, full_cache, np.arange(6))
+        inc_cache = KVCache(1, 4, 4, 32)
+        outs = [attn.forward(x[i : i + 1], 0, inc_cache, np.array([i])) for i in range(6)]
+        assert np.allclose(np.concatenate(outs), full, atol=1e-10)
+
+    def test_causality(self):
+        """Changing a future token must not affect earlier outputs."""
+        rng = np.random.default_rng(1)
+        attn = CausalSelfAttention(16, 4, rng, max_positions=32)
+        x = rng.standard_normal((5, 16))
+        out_a = attn.forward(x, 0, KVCache(1, 4, 4, 32), np.arange(5))
+        x2 = x.copy()
+        x2[4] += 10.0
+        out_b = attn.forward(x2, 0, KVCache(1, 4, 4, 32), np.arange(5))
+        assert np.allclose(out_a[:4], out_b[:4])
+        assert not np.allclose(out_a[4], out_b[4])
+
+    def test_gqa_head_grouping(self):
+        rng = np.random.default_rng(2)
+        attn = CausalSelfAttention(16, 4, rng, n_kv_heads=2, max_positions=16)
+        cache = KVCache(1, 2, 4, 16)
+        out = attn.forward(rng.standard_normal((3, 16)), 0, cache, np.arange(3))
+        assert out.shape == (3, 16)
+        assert cache.view(0)[0].shape == (2, 3, 4)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            CausalSelfAttention(15, 4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            CausalSelfAttention(16, 4, np.random.default_rng(0), n_kv_heads=3)
+
+
+class TestTinyTransformer:
+    def test_layer_stepping_equals_forward_all(self):
+        lm = TinyTransformerLM(CFG, seed=0)
+        tokens = np.array([1, 5, 9, 2])
+        c1 = lm.new_cache(16)
+        full = lm.forward_all(tokens, c1, np.arange(4))
+        c2 = lm.new_cache(16)
+        h = lm.embed(tokens)
+        for layer in range(CFG.n_layers):
+            h = lm.layer_forward(h, layer, c2, np.arange(4))
+        assert np.allclose(full, h, atol=1e-12)
+
+    def test_lm_head_slice_matches_full(self):
+        lm = TinyTransformerLM(CFG, seed=0)
+        h = np.random.default_rng(0).standard_normal(CFG.dim)
+        ids = np.array([3, 7, 11])
+        assert np.allclose(lm.lm_head_slice(h, ids), lm.lm_head(h)[ids])
+
+    def test_deterministic_by_seed(self):
+        a = TinyTransformerLM(CFG, seed=5)
+        b = TinyTransformerLM(CFG, seed=5)
+        assert np.array_equal(a.embedding, b.embedding)
+
+
+class TestTrainableTransformer:
+    def test_loss_decreases(self):
+        cfg = TransformerConfig(vocab_size=24, dim=16, n_layers=1, n_heads=2,
+                                intermediate_dim=24, max_positions=16)
+        lm = TrainableTransformerLM(cfg, seed=0)
+        rng = np.random.default_rng(0)
+        # Learnable pattern: next token = (token + 1) % vocab.
+        seq = (np.arange(9) * 1) % cfg.vocab_size
+        batch = np.stack([seq, (seq + 3) % cfg.vocab_size])
+        inputs, targets = batch[:, :-1], batch[:, 1:]
+        opt = Adam(lm.parameters(), lr=3e-2)
+        losses = []
+        for _ in range(25):
+            opt.zero_grad()
+            logits = lm(inputs)
+            loss = cross_entropy(logits.reshape(-1, cfg.vocab_size), targets.reshape(-1))
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_rejects_too_long_sequence(self):
+        cfg = TransformerConfig(vocab_size=8, dim=8, n_layers=1, n_heads=2,
+                                intermediate_dim=8, max_positions=4)
+        lm = TrainableTransformerLM(cfg)
+        with pytest.raises(ValueError):
+            lm(np.zeros((1, 5), dtype=int))

@@ -1,0 +1,162 @@
+"""Tests for the autograd engine: numerical gradient checks and semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, cross_entropy, no_grad
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    g = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = fn()
+        flat[i] = old - eps
+        down = fn()
+        flat[i] = old
+        g[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_op(op, shape_a, shape_b=None, seed=0):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal(shape_a) * 0.5 + 1.5, requires_grad=True)
+    tensors = [a]
+    if shape_b is not None:
+        b = Tensor(rng.standard_normal(shape_b) * 0.5 + 1.5, requires_grad=True)
+        tensors.append(b)
+    out = op(*tensors)
+    loss = (out * out).sum()
+    loss.backward()
+    for t in tensors:
+        num = numerical_grad(lambda: float((op(*tensors).data ** 2).sum()), t.data)
+        assert np.allclose(t.grad, num, atol=1e-4), f"grad mismatch for {op}"
+
+
+class TestElementwiseGrads:
+    def test_add(self):
+        check_op(lambda a, b: a + b, (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check_op(lambda a, b: a + b, (3, 4), (4,))
+
+    def test_mul(self):
+        check_op(lambda a, b: a * b, (2, 3), (2, 3))
+
+    def test_mul_broadcast_scalar_axis(self):
+        check_op(lambda a, b: a * b, (2, 3), (2, 1))
+
+    def test_sub_div(self):
+        check_op(lambda a, b: (a - b) / (b * b), (2, 2), (2, 2))
+
+    def test_pow(self):
+        check_op(lambda a: a ** 3.0, (4,))
+
+    def test_exp_log(self):
+        check_op(lambda a: (a.exp() + 1.0).log(), (3,))
+
+    def test_tanh(self):
+        check_op(lambda a: a.tanh(), (5,))
+
+    def test_relu(self):
+        check_op(lambda a: a.relu(), (6,))
+
+    def test_sigmoid(self):
+        check_op(lambda a: a.sigmoid(), (4,))
+
+    def test_silu(self):
+        check_op(lambda a: a.silu(), (4,))
+
+
+class TestMatmulAndShapes:
+    def test_matmul(self):
+        check_op(lambda a, b: a @ b, (3, 4), (4, 2))
+
+    def test_batched_matmul(self):
+        check_op(lambda a, b: a @ b, (2, 3, 4), (2, 4, 2))
+
+    def test_reshape(self):
+        check_op(lambda a: a.reshape(6), (2, 3))
+
+    def test_transpose(self):
+        check_op(lambda a: a.transpose(1, 0), (2, 3))
+
+    def test_sum_axis(self):
+        check_op(lambda a: a.sum(axis=0), (3, 4))
+
+    def test_mean_keepdims(self):
+        check_op(lambda a: a.mean(axis=-1, keepdims=True), (3, 4))
+
+    def test_take_rows(self):
+        idx = np.array([0, 2, 2])
+        check_op(lambda a: a.take_rows(idx), (4, 3))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5)))
+        assert np.allclose(x.softmax().data.sum(axis=-1), 1.0)
+
+    def test_cross_entropy_matches_manual(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((4, 6))
+        targets = np.array([0, 3, 5, 2])
+        t = Tensor(logits, requires_grad=True)
+        loss = cross_entropy(t, targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -logp[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(expected)
+
+    def test_cross_entropy_gradient(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((3, 5))
+        targets = np.array([1, 4, 0])
+        t = Tensor(logits, requires_grad=True)
+        cross_entropy(t, targets).backward()
+        # d/dlogits = (softmax - onehot) / N
+        probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(3), targets] = 1
+        assert np.allclose(t.grad, (probs - onehot) / 3, atol=1e-8)
+
+    def test_cross_entropy_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(5)), np.array([0]))
+
+
+class TestEngineSemantics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        loss = (t * 3) + (t * 4)
+        loss.backward()
+        assert t.grad[0] == pytest.approx(7.0)
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            out = (t * 2).sum()
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(1), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_topological_order(self):
+        t = Tensor(np.array([1.5]), requires_grad=True)
+        a = t * 2
+        b = t * 3
+        ((a + b) * a).sum().backward()
+        # f = (2t + 3t) * 2t = 10 t^2, df/dt = 20 t
+        assert t.grad[0] == pytest.approx(30.0)

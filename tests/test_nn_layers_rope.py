@@ -1,0 +1,113 @@
+"""Tests for layers (autograd vs numpy paths) and rotary embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Embedding, Linear, RMSNorm, SwiGLU
+from repro.nn.rope import RotaryEmbedding, apply_rope
+
+
+class TestLinear:
+    def test_paths_agree(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(6, 4, rng)
+        x = rng.standard_normal((3, 6))
+        assert np.allclose(layer(Tensor(x)).data, layer.forward_np(x))
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, np.random.default_rng(0), bias=False)
+        assert layer.bias is None
+        assert np.allclose(layer.forward_np(np.zeros((1, 4))), 0.0)
+
+    def test_parameters_collected(self):
+        layer = Linear(4, 2, np.random.default_rng(0))
+        assert len(layer.parameters()) == 2
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, np.random.default_rng(0))
+        ids = np.array([1, 1, 9])
+        out = emb.forward_np(ids)
+        assert out.shape == (3, 4)
+        assert np.array_equal(out[0], out[1])
+
+    def test_paths_agree(self):
+        emb = Embedding(10, 4, np.random.default_rng(0))
+        ids = np.array([[0, 3], [2, 5]])
+        assert np.allclose(emb(ids).data, emb.forward_np(ids))
+
+
+class TestRMSNorm:
+    def test_unit_rms_output(self):
+        norm = RMSNorm(8)
+        x = np.random.default_rng(0).standard_normal((5, 8)) * 10
+        out = norm.forward_np(x)
+        rms = np.sqrt(np.mean(out**2, axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_paths_agree(self):
+        norm = RMSNorm(8)
+        x = np.random.default_rng(1).standard_normal((3, 8))
+        assert np.allclose(norm(Tensor(x)).data, norm.forward_np(x), atol=1e-9)
+
+    def test_scale_applied(self):
+        norm = RMSNorm(4)
+        norm.weight.data[:] = 2.0
+        out = norm.forward_np(np.ones((1, 4)))
+        assert np.allclose(out, 2.0)
+
+
+class TestSwiGLU:
+    def test_paths_agree(self):
+        rng = np.random.default_rng(2)
+        ffn = SwiGLU(6, 12, rng)
+        x = rng.standard_normal((4, 6))
+        assert np.allclose(ffn(Tensor(x)).data, ffn.forward_np(x), atol=1e-9)
+
+    def test_zero_input_zero_output(self):
+        ffn = SwiGLU(4, 8, np.random.default_rng(0))
+        assert np.allclose(ffn.forward_np(np.zeros((1, 4))), 0.0)
+
+
+class TestRope:
+    def test_rejects_odd_head_dim(self):
+        with pytest.raises(ValueError):
+            RotaryEmbedding(7)
+
+    def test_position_zero_identity(self):
+        rope = RotaryEmbedding(8, max_positions=16)
+        cos, sin = rope.tables_for(np.array([0]))
+        x = np.random.default_rng(0).standard_normal((1, 8))
+        assert np.allclose(apply_rope(x, cos, sin), x)
+
+    @given(st.integers(min_value=0, max_value=63))
+    @settings(max_examples=20, deadline=None)
+    def test_norm_preserved(self, pos):
+        rope = RotaryEmbedding(16, max_positions=64)
+        cos, sin = rope.tables_for(np.array([pos]))
+        x = np.random.default_rng(pos).standard_normal((1, 16))
+        out = apply_rope(x, cos, sin)
+        assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(x))
+
+    def test_relative_property(self):
+        """Dot products of rotated q/k depend only on relative offset."""
+        rope = RotaryEmbedding(8, max_positions=128)
+        rng = np.random.default_rng(3)
+        q = rng.standard_normal(8)
+        k = rng.standard_normal(8)
+
+        def score(pq, pk):
+            cq, sq = rope.tables_for(np.array([pq]))
+            ck, sk = rope.tables_for(np.array([pk]))
+            out = apply_rope(q[None], cq, sq) @ apply_rope(k[None], ck, sk).T
+            return float(out[0, 0])
+
+        assert score(5, 3) == pytest.approx(score(25, 23), abs=1e-9)
+
+    def test_table_overflow_raises(self):
+        rope = RotaryEmbedding(8, max_positions=4)
+        with pytest.raises(ValueError):
+            rope.tables_for(np.array([4]))

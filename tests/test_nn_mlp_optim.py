@@ -1,0 +1,99 @@
+"""Tests for the fast MLP classifier and the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.mlp import MLPClassifier
+from repro.nn.optim import SGD, Adam
+
+
+def make_blob_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 12))
+    y = (x[:, 0] + 0.5 * x[:, 1] - 0.3 * x[:, 2] > 0).astype(float)
+    return x, y
+
+
+class TestMLPClassifier:
+    def test_learns_separable_data(self):
+        x, y = make_blob_data()
+        clf = MLPClassifier(12, hidden_dim=64, depth=2, seed=0)
+        report = clf.fit(x, y, epochs=40, lr=3e-3)
+        assert report.train_accuracy > 0.95
+
+    def test_loss_monotone_trend(self):
+        x, y = make_blob_data()
+        clf = MLPClassifier(12, hidden_dim=32, depth=2, seed=1)
+        report = clf.fit(x, y, epochs=20, lr=3e-3)
+        assert report.losses[-1] < report.losses[0]
+
+    def test_depth_one_is_logistic_regression(self):
+        x, y = make_blob_data()
+        clf = MLPClassifier(12, hidden_dim=64, depth=1, seed=0)
+        assert len(clf.weights) == 1
+        report = clf.fit(x, y, epochs=40, lr=1e-2)
+        assert report.train_accuracy > 0.9
+
+    def test_forward_single_vs_batch(self):
+        clf = MLPClassifier(4, hidden_dim=8, seed=0)
+        x = np.random.default_rng(0).standard_normal((3, 4))
+        batch = clf.forward(x)
+        singles = [clf.forward(row) for row in x]
+        assert np.allclose(batch, singles)
+
+    def test_probability_range(self):
+        clf = MLPClassifier(4, hidden_dim=8, seed=0)
+        probs = clf.forward(np.random.default_rng(1).standard_normal((50, 4)) * 100)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_class_balance_handles_skew(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((500, 4))
+        y = (x[:, 0] > 1.6).astype(float)  # ~5% positives
+        clf = MLPClassifier(4, hidden_dim=32, seed=0)
+        clf.fit(x, y, epochs=40, lr=3e-3, class_balance=True)
+        recall = np.mean(clf.predict(x[y == 1]))
+        assert recall > 0.6
+
+    def test_state_dict_roundtrip(self):
+        x, y = make_blob_data(200)
+        clf = MLPClassifier(12, hidden_dim=16, seed=0)
+        clf.fit(x, y, epochs=5)
+        clone = MLPClassifier.from_state_dict(clf.state_dict())
+        assert np.allclose(clf.forward(x), clone.forward(x))
+
+    def test_rejects_bad_shapes(self):
+        clf = MLPClassifier(4)
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((3, 4)), np.zeros(5))
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((0, 4)), np.zeros(0))
+
+    def test_n_params_formula(self):
+        clf = MLPClassifier(12, hidden_dim=512, depth=2)
+        assert clf.n_params == 12 * 512 + 512 + 512 * 1 + 1
+
+
+class TestOptimizers:
+    def _quadratic(self, opt_cls, **kwargs):
+        t = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = opt_cls([t], **kwargs)
+        for _ in range(150):
+            opt.zero_grad()
+            (t * t).sum().backward()
+            opt.step()
+        return np.abs(t.data).max()
+
+    def test_sgd_converges(self):
+        assert self._quadratic(SGD, lr=0.1) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic(SGD, lr=0.05, momentum=0.9) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic(Adam, lr=0.2) < 1e-2
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)

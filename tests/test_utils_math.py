@@ -1,0 +1,103 @@
+"""Tests for stable math primitives (with hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.mathx import (
+    geometric_mean,
+    log_softmax,
+    logsumexp,
+    normalize_rows,
+    sigmoid,
+    softmax,
+)
+
+finite_arrays = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=2, max_size=16
+).map(np.asarray)
+
+
+class TestSoftmax:
+    @given(finite_arrays)
+    def test_sums_to_one(self, x):
+        assert np.isclose(softmax(x).sum(), 1.0)
+
+    @given(finite_arrays)
+    def test_nonnegative(self, x):
+        assert np.all(softmax(x) >= 0)
+
+    @given(finite_arrays, st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_shift_invariant(self, x, c):
+        assert np.allclose(softmax(x), softmax(x + c))
+
+    def test_no_overflow_for_huge_logits(self):
+        out = softmax(np.array([1e4, 0.0, -1e4]))
+        assert np.isclose(out[0], 1.0)
+
+    def test_axis(self):
+        x = np.arange(6).reshape(2, 3)
+        out = softmax(x, axis=1)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+
+class TestLogSoftmax:
+    @given(finite_arrays)
+    def test_consistent_with_softmax(self, x):
+        assert np.allclose(np.exp(log_softmax(x)), softmax(x))
+
+    @given(finite_arrays)
+    def test_all_nonpositive(self, x):
+        assert np.all(log_softmax(x) <= 1e-12)
+
+
+class TestLogsumexp:
+    @given(finite_arrays)
+    def test_matches_naive(self, x):
+        assert np.isclose(logsumexp(x), np.log(np.sum(np.exp(x))))
+
+    def test_stable(self):
+        assert np.isclose(logsumexp(np.array([1e3, 1e3])), 1e3 + np.log(2))
+
+
+class TestSigmoid:
+    def test_extremes(self):
+        assert sigmoid(1e3) == pytest.approx(1.0)
+        assert sigmoid(-1e3) == pytest.approx(0.0)
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_in_unit_interval(self, x):
+        assert 0.0 <= sigmoid(x) <= 1.0
+
+    @given(st.floats(min_value=-30, max_value=30, allow_nan=False))
+    def test_symmetry(self, x):
+        assert sigmoid(x) + sigmoid(-x) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1, max_size=8))
+    def test_between_min_and_max(self, xs):
+        g = geometric_mean(xs)
+        assert min(xs) - 1e-9 <= g <= max(xs) + 1e-9
+
+
+class TestNormalizeRows:
+    def test_unit_norm(self):
+        x = np.random.default_rng(0).standard_normal((4, 8))
+        out = normalize_rows(x)
+        assert np.allclose(np.linalg.norm(out, axis=-1), 1.0)
+
+    def test_zero_row_safe(self):
+        out = normalize_rows(np.zeros((2, 3)))
+        assert np.all(np.isfinite(out))

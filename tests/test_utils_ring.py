@@ -1,0 +1,62 @@
+"""Tests for the circular queue (including a model-based hypothesis check)."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.ring import CircularQueue
+
+
+class TestCircularQueue:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            CircularQueue(0)
+
+    def test_push_until_full(self):
+        q = CircularQueue(3)
+        assert q.push(1) is None
+        assert q.push(2) is None
+        assert q.push(3) is None
+        assert q.full
+
+    def test_eviction_order_fifo(self):
+        q = CircularQueue(2)
+        q.push(1)
+        q.push(2)
+        assert q.push(3) == 1
+        assert q.push(4) == 2
+        assert list(q) == [3, 4]
+
+    def test_newest(self):
+        q = CircularQueue(3)
+        assert q.newest() is None
+        q.push(5)
+        q.push(9)
+        assert q.newest() == 9
+
+    def test_contains(self):
+        q = CircularQueue(2)
+        q.push(1)
+        assert 1 in q
+        assert 7 not in q
+
+    def test_clear(self):
+        q = CircularQueue(2)
+        q.push(1)
+        q.clear()
+        assert len(q) == 0
+        assert q.newest() is None
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.lists(st.integers(min_value=0, max_value=40), max_size=60))
+    def test_matches_bounded_deque_model(self, capacity, values):
+        q = CircularQueue(capacity)
+        model = deque(maxlen=capacity)
+        for v in values:
+            expected_evicted = model[0] if len(model) == capacity else None
+            evicted = q.push(v)
+            model.append(v)
+            assert evicted == expected_evicted
+            assert list(q) == list(model)
+            assert q.newest() == model[-1]

@@ -1,0 +1,65 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import RngFactory, child_rng, hash_to_uint64
+
+
+class TestHashToUint64:
+    def test_deterministic(self):
+        assert hash_to_uint64("a", 1, (2, 3)) == hash_to_uint64("a", 1, (2, 3))
+
+    def test_distinct_inputs_distinct_hashes(self):
+        values = {hash_to_uint64("tag", i) for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_order_sensitive(self):
+        assert hash_to_uint64("a", "b") != hash_to_uint64("b", "a")
+
+    @given(st.integers(), st.text(max_size=20))
+    def test_range(self, n, s):
+        h = hash_to_uint64(n, s)
+        assert 0 <= h < 2**64
+
+
+class TestChildRng:
+    def test_same_tags_same_stream(self):
+        a = child_rng(7, "x").standard_normal(5)
+        b = child_rng(7, "x").standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_different_tags_different_stream(self):
+        a = child_rng(7, "x").standard_normal(5)
+        b = child_rng(7, "y").standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_different_stream(self):
+        a = child_rng(7, "x").standard_normal(5)
+        b = child_rng(8, "x").standard_normal(5)
+        assert not np.array_equal(a, b)
+
+
+class TestRngFactory:
+    def test_get_reproducible(self):
+        f = RngFactory(11)
+        assert np.array_equal(f.get("w").random(3), RngFactory(11).get("w").random(3))
+
+    def test_derive_changes_root(self):
+        f = RngFactory(11)
+        d = f.derive("sub")
+        assert d.seed != f.seed
+        assert d.seed == f.derive("sub").seed
+
+    def test_uniform_in_unit_interval(self):
+        f = RngFactory(3)
+        for tag in range(50):
+            u = f.uniform("t", tag)
+            assert 0.0 <= u < 1.0
+
+    def test_streams_decorrelated(self):
+        f = RngFactory(5)
+        a = f.get("one").standard_normal(2000)
+        b = f.get("two").standard_normal(2000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
