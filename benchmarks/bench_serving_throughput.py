@@ -1,0 +1,59 @@
+"""Continuous-batching serving throughput vs sequential SpecEE serving.
+
+Serves one workload twice through the cost model: per-request sequential
+decoding (the merge of every request's own ledger) and continuous batching
+over the paged KV cache (shared weight passes per decoder layer).  Decode is
+weight-bandwidth-bound, so batching must deliver >= 2x modelled tokens/s.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+"""
+
+from repro.data.corpus import generate_prompts
+from repro.eval.harness import build_rig
+from repro.config import get_model_spec
+from repro.serving import Request
+
+
+def run_serving_benchmark(
+    n_requests: int = 16,
+    max_new_tokens: int = 64,
+    batch_capacity: int = 8,
+    kv_blocks: int = 512,
+    block_size: int = 16,
+    model: str = "llama2-7b",
+    device: str = "a100-80g",
+    framework: str = "vllm",
+    seed: int = 0,
+):
+    rig = build_rig(model, seed=seed, train_prompts=6, train_tokens=30,
+                    predictor_hidden=128, epochs=10)
+    serving = rig.serving_engine(
+        batch_capacity=batch_capacity, kv_blocks=kv_blocks, block_size=block_size,
+    )
+    prompts = generate_prompts(n_requests, rig.model.vocab_size, seed=seed + 7)
+    requests = [Request(i, prompt, max_new_tokens) for i, prompt in enumerate(prompts)]
+    report = serving.run(requests)
+    priced = report.priced_speedup(get_model_spec(model), device, framework)
+    return report, priced
+
+
+def render(report, priced) -> str:
+    return "\n".join([
+        f"requests={len(report.results)} tokens={report.total_tokens} "
+        f"steps={report.n_steps} occupancy={report.avg_batch_occupancy:.2f}",
+        f"sequential: {priced['sequential_tps']:.1f} tokens/s",
+        f"serving:    {priced['serving_tps']:.1f} tokens/s",
+        f"speedup:    {priced['speedup']:.2f}x",
+    ])
+
+
+def test_bench_serving_throughput(benchmark):
+    report, priced = benchmark.pedantic(run_serving_benchmark, rounds=1, iterations=1)
+    print()
+    print(render(report, priced))
+    assert priced["speedup"] >= 2.0
+    assert report.total_tokens == len(report.results) * 64
+
+
+if __name__ == "__main__":
+    print(render(*run_serving_benchmark()))

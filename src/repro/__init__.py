@@ -33,6 +33,7 @@ from repro.model import (
     TreeDrafter,
     get_profile,
 )
+from repro.serving import PagedKVCache, Request, ServingEngine, ServingReport
 
 __version__ = "1.0.0"
 
@@ -46,7 +47,11 @@ __all__ = [
     "LatencyModel",
     "MODELS",
     "ModelSpec",
+    "PagedKVCache",
     "PredictorBank",
+    "Request",
+    "ServingEngine",
+    "ServingReport",
     "SimDims",
     "SpecEEConfig",
     "SpecEEEngine",

@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig19_ablation --scale medium
     python -m repro run all --scale small --out report.txt
     python -m repro info llama2-7b
+    python -m repro serve --requests 16 --batch-capacity 8
 """
 
 from __future__ import annotations
@@ -41,6 +42,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="show a model or device spec")
     info.add_argument("name", help="model (llama2-7b, ...) or device (a100-80g, ...)")
+
+    serve = sub.add_parser(
+        "serve", help="continuous-batching serving run vs sequential SpecEE")
+    serve.add_argument("--model", default="llama2-7b", choices=sorted(MODELS))
+    serve.add_argument("--requests", type=int, default=12)
+    serve.add_argument("--max-new-tokens", type=int, default=48)
+    serve.add_argument("--batch-capacity", type=int, default=8)
+    serve.add_argument("--kv-blocks", type=int, default=512)
+    serve.add_argument("--block-size", type=int, default=16)
+    serve.add_argument("--scheduler", default="two_level",
+                       choices=["all", "offline", "online", "two_level"])
+    serve.add_argument("--device", default="a100-80g", choices=sorted(DEVICES))
+    serve.add_argument("--framework", default="vllm",
+                       choices=["hf", "vllm", "awq", "flashattention"])
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--out", default=None, help="write the report to a file")
     return parser
 
 
@@ -91,6 +108,48 @@ def _cmd_info(name: str, out: IO[str]) -> int:
     return 2
 
 
+def _cmd_serve(args, out: IO[str]) -> int:
+    from repro.data.corpus import generate_prompts
+    from repro.eval.harness import build_rig
+    from repro.serving import Request
+
+    rig = build_rig(args.model, seed=args.seed, train_prompts=6, train_tokens=30,
+                    predictor_hidden=128, epochs=10)
+    start = time.perf_counter()
+    try:
+        serving = rig.serving_engine(
+            scheduler_kind=args.scheduler, batch_capacity=args.batch_capacity,
+            kv_blocks=args.kv_blocks, block_size=args.block_size,
+        )
+        prompts = generate_prompts(args.requests, rig.model.vocab_size, seed=args.seed + 7)
+        requests = [Request(i, prompt, args.max_new_tokens)
+                    for i, prompt in enumerate(prompts)]
+        report = serving.run(requests)
+    except (MemoryError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    priced = report.priced_speedup(get_model_spec(args.model), args.device, args.framework)
+    rows = [
+        ["requests served", len(report.results)],
+        ["tokens generated", report.total_tokens],
+        ["scheduler steps", report.n_steps],
+        ["avg batch occupancy", f"{report.avg_batch_occupancy:.2f}"],
+        ["peak KV blocks", f"{report.peak_kv_blocks} / {serving.cache.allocator.n_blocks}"],
+        ["mean queue wait (steps)", f"{report.mean_queue_wait_steps:.1f}"],
+        ["mean latency (steps)", f"{report.mean_latency_steps:.1f}"],
+        ["p95 latency (steps)", f"{report.p95_latency_steps():.1f}"],
+        ["sequential tokens/s", f"{priced['sequential_tps']:.1f}"],
+        ["serving tokens/s", f"{priced['serving_tps']:.1f}"],
+        ["throughput speedup", f"{priced['speedup']:.2f}x"],
+    ]
+    title = (f"continuous batching: {args.model} @ {args.device}/{args.framework}, "
+             f"{args.scheduler} scheduler, capacity {args.batch_capacity}")
+    print(render_table(["metric", "value"], rows, title=title), file=out)
+    print(f"[serve completed in {elapsed:.1f}s]", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     sink: IO[str] = sys.stdout
@@ -105,6 +164,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args.experiment, args.scale, args.seed, sink)
         if args.command == "info":
             return _cmd_info(args.name, sink)
+        if args.command == "serve":
+            return _cmd_serve(args, sink)
         return 2
     finally:
         if close:

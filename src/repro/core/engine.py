@@ -37,7 +37,13 @@ __all__ = ["StepRecord", "GenerationResult", "SpecEEEngine"]
 
 @dataclass
 class StepRecord:
-    """Diagnostics for one generated token."""
+    """Diagnostics for one generated token.
+
+    ``hidden`` is the hidden state the token was committed from (the
+    exit-layer activation).  Serving backends persist it as the token's KV
+    payload in the paged cache; baselines that do not thread hidden states
+    leave it ``None``.
+    """
 
     token: int
     exit_layer: int
@@ -46,6 +52,7 @@ class StepRecord:
     verify_attempts: int
     active_predictors: float
     draft_hit: bool
+    hidden: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -127,25 +134,54 @@ class SpecEEEngine:
         distribution, but commits the reference so the context follows the
         dataset text.
         """
-        state = self.model.start(prompt, script=script)
-        result = GenerationResult()
-        result.ledger.prompt_tokens = len(state.context)
-        result.ledger.add(Event.PREFILL_LAYER, calls=self.model.n_layers,
-                          units=self.model.n_layers * len(state.context))
+        state, result = self.prefill(prompt, script=script)
         self.scheduler.reset()
         if force_tokens is not None:
             max_new_tokens = len(force_tokens)
         for step in range(max_new_tokens):
             forced = None if force_tokens is None else int(force_tokens[step])
-            self._generate_one(state, result, forced)
+            self.step(state, result, forced)
+        return self.finish(state, result)
+
+    # -- incremental API (one sequence among many) ---------------------------
+    def prefill(
+        self, prompt: Sequence[int], script: Optional[Sequence[int]] = None
+    ) -> tuple[LMState, GenerationResult]:
+        """Start a sequence: model state plus an empty result whose ledger
+        carries the prompt prefill.  Callers driving :meth:`step` directly
+        (the continuous-batching server) own the scheduler lifetime — pass a
+        per-sequence scheduler to every ``step`` call."""
+        state = self.model.start(prompt, script=script)
+        result = GenerationResult()
+        result.ledger.prompt_tokens = len(state.context)
+        result.ledger.add(Event.PREFILL_LAYER, calls=self.model.n_layers,
+                          units=self.model.n_layers * len(state.context))
+        return state, result
+
+    def finish(self, state: LMState, result: GenerationResult) -> GenerationResult:
+        """Seal a sequence: copy model-internal diagnostics into the result."""
         result.saturations = list(getattr(state, "saturation_layers", []))
         return result
 
-    # -- single step --------------------------------------------------------
-    def _generate_one(
-        self, state: LMState, result: GenerationResult, forced: Optional[int] = None
-    ) -> None:
+    def step(
+        self,
+        state: LMState,
+        result: GenerationResult,
+        forced: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
+        capture_hidden: bool = False,
+    ) -> StepRecord:
+        """Advance one sequence by one token.
+
+        ``scheduler`` overrides the engine's own predictor scheduler; batched
+        serving passes one per sequence so each request's online exit history
+        stays isolated (and outputs match an unbatched run token for token).
+        ``capture_hidden`` copies the exit-layer hidden state onto the
+        returned record — the serving scheduler persists it as the token's
+        paged-KV payload; plain generation skips the copy.
+        """
         model, cfg, ledger = self.model, self.config, result.ledger
+        sched = scheduler if scheduler is not None else self.scheduler
         spec_tokens = self.speculator.propose(state.context)
         draft_hit = self.speculator.is_hit(state.context)
         ledger.add(Event.DRAFT_STEP)
@@ -157,7 +193,7 @@ class SpecEEEngine:
         exit_layer = n_layers - 1
         predictor_evals = 0
         verify_attempts = 0
-        active_predictors = self.scheduler.active_count()
+        active_predictors = sched.active_count()
 
         hidden = None
         for layer in range(n_layers):
@@ -165,7 +201,7 @@ class SpecEEEngine:
             ledger.add(Event.DECODER_LAYER)
             if layer >= n_layers - 1 or layer < cfg.min_exit_layer:
                 continue
-            if not self.scheduler.is_active(layer):
+            if not sched.is_active(layer):
                 continue
             spec_logits = model.lm_head_slice(hidden, spec_tokens)
             ledger.add(Event.LM_HEAD_SLICE, units=cfg.num_speculative)
@@ -206,13 +242,16 @@ class SpecEEEngine:
             exit_token = forced
         model.commit(state, exit_token, exit_layer)
         if early:
-            self.scheduler.observe_exit(exit_layer)
+            sched.observe_exit(exit_layer)
         ledger.tokens_generated += 1
         ledger.steps += 1
-        result.tokens.append(exit_token)
-        result.exit_layers.append(exit_layer)
-        result.records.append(StepRecord(
+        record = StepRecord(
             token=exit_token, exit_layer=exit_layer, early_exit=early,
             predictor_evals=predictor_evals, verify_attempts=verify_attempts,
             active_predictors=active_predictors, draft_hit=draft_hit,
-        ))
+            hidden=np.array(hidden, copy=True) if capture_hidden and hidden is not None else None,
+        )
+        result.tokens.append(exit_token)
+        result.exit_layers.append(exit_layer)
+        result.records.append(record)
+        return record

@@ -110,6 +110,21 @@ class Rig:
     sim: SimDims = _DEFAULT_SIM
     seed: int = 0
 
+    def make_scheduler(
+        self,
+        scheduler_kind: str = "two_level",
+        config: Optional[SpecEEConfig] = None,
+        offline_top_k: int = 4,
+    ):
+        """One predictor scheduler wired to this rig's offline exit profile
+        (the single source of truth for both unbatched and serving engines)."""
+        cfg = config or SpecEEConfig(scheduler=scheduler_kind)
+        return make_scheduler(
+            scheduler_kind, self.model.n_layers,
+            offline=OfflineScheduler(self.offline_freqs), offline_top_k=offline_top_k,
+            window=cfg.context_window, vicinity=cfg.layer_vicinity,
+        )
+
     def specee_engine(
         self,
         scheduler_kind: str = "two_level",
@@ -117,12 +132,25 @@ class Rig:
         offline_top_k: int = 4,
     ) -> SpecEEEngine:
         cfg = config or SpecEEConfig(scheduler=scheduler_kind)
-        scheduler = make_scheduler(
-            scheduler_kind, self.model.n_layers,
-            offline=OfflineScheduler(self.offline_freqs), offline_top_k=offline_top_k,
-            window=cfg.context_window, vicinity=cfg.layer_vicinity,
-        )
+        scheduler = self.make_scheduler(scheduler_kind, cfg, offline_top_k)
         return SpecEEEngine(self.model, self.speculator, self.bank, cfg, scheduler=scheduler)
+
+    def serving_engine(
+        self,
+        scheduler_kind: str = "two_level",
+        config: Optional[SpecEEConfig] = None,
+        offline_top_k: int = 4,
+        **serving_kwargs,
+    ) -> "ServingEngine":
+        """Continuous-batching server over this rig's SpecEE engine.  Each
+        admitted sequence gets its own predictor scheduler built from the
+        rig's offline exit profile, so batched outputs match unbatched ones."""
+        from repro.serving.engine import ServingEngine
+
+        cfg = config or SpecEEConfig(scheduler=scheduler_kind)
+        engine = self.specee_engine(scheduler_kind, cfg, offline_top_k)
+        factory = lambda: self.make_scheduler(scheduler_kind, cfg, offline_top_k)
+        return ServingEngine(engine, scheduler_factory=factory, **serving_kwargs)
 
     def fresh_model(self) -> SyntheticLayeredLM:
         """A new model instance with identical semantics (independent state)."""

@@ -24,6 +24,7 @@ __all__ = ["EnergyReport", "EnergyModel", "EVENT_INTENSITY"]
 EVENT_INTENSITY: Dict[str, float] = {
     Event.PREFILL_LAYER: 0.80,       # compute-bound GEMMs
     Event.DECODER_LAYER: 0.42,       # bandwidth-bound decode GEMVs
+    Event.BATCH_DECODER_LAYER: 0.55,  # batched decode GEMMs (serving)
     Event.TREE_VERIFY_LAYER: 0.50,   # small-batch GEMMs
     Event.LM_HEAD_FULL: 0.45,
     Event.LM_HEAD_SLICE: 0.15,

@@ -180,6 +180,12 @@ class LatencyModel:
             avg_batch = units(e.TREE_VERIFY_LAYER) / calls(e.TREE_VERIFY_LAYER)
             put(e.TREE_VERIFY_LAYER,
                 calls(e.TREE_VERIFY_LAYER) * self.decoder_layer_time(avg_batch))
+        if calls(e.BATCH_DECODER_LAYER):
+            # Continuous-batching decode: one weight pass serves every
+            # sequence still alive at that depth (units = batched tokens).
+            avg_batch = units(e.BATCH_DECODER_LAYER) / calls(e.BATCH_DECODER_LAYER)
+            put(e.BATCH_DECODER_LAYER,
+                calls(e.BATCH_DECODER_LAYER) * self.decoder_layer_time(avg_batch))
         put(e.LM_HEAD_FULL, calls(e.LM_HEAD_FULL) * self.lm_head_time())
         if calls(e.LM_HEAD_SLICE):
             avg_cols = units(e.LM_HEAD_SLICE) / calls(e.LM_HEAD_SLICE)

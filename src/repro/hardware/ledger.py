@@ -22,6 +22,7 @@ class Event:
 
     PREFILL_LAYER = "prefill_layer"          # units = prompt tokens
     DECODER_LAYER = "decoder_layer"          # one token through one layer
+    BATCH_DECODER_LAYER = "batch_decoder_layer"  # units = batched decode tokens
     LM_HEAD_FULL = "lm_head_full"            # full-vocabulary projection
     LM_HEAD_SLICE = "lm_head_slice"          # units = columns (spec tokens)
     PREDICTOR = "predictor_forward"          # lightweight MLP forward
@@ -33,9 +34,9 @@ class Event:
     RETRIEVAL = "retrieval_lookup"           # RAEE database kNN
     KV_FILL = "kv_fill"                      # early-exit KV propagation (units = layers)
     ALL = (
-        PREFILL_LAYER, DECODER_LAYER, LM_HEAD_FULL, LM_HEAD_SLICE, PREDICTOR,
-        SVM_PREDICT, FEATURE_STATS, DRAFT_STEP, TREE_VERIFY_LAYER,
-        TREE_FEATURE_GEMM, RETRIEVAL, KV_FILL,
+        PREFILL_LAYER, DECODER_LAYER, BATCH_DECODER_LAYER, LM_HEAD_FULL,
+        LM_HEAD_SLICE, PREDICTOR, SVM_PREDICT, FEATURE_STATS, DRAFT_STEP,
+        TREE_VERIFY_LAYER, TREE_FEATURE_GEMM, RETRIEVAL, KV_FILL,
     )
 
 
@@ -91,11 +92,12 @@ class CostLedger:
     @property
     def decoder_layers_per_token(self) -> float:
         """Average executed decoder layers per generated token — the paper's
-        '#Avg. L' column (Table 4).  Tree-verify layers count their batch
-        once (one forward serves all tree tokens)."""
+        '#Avg. L' column (Table 4).  Tree-verify and batched-decode layers
+        count their batch once (one forward serves all batched tokens)."""
         if self.tokens_generated == 0:
             return float("nan")
-        layers = self.calls(Event.DECODER_LAYER) + self.calls(Event.TREE_VERIFY_LAYER)
+        layers = (self.calls(Event.DECODER_LAYER) + self.calls(Event.TREE_VERIFY_LAYER)
+                  + self.calls(Event.BATCH_DECODER_LAYER))
         return layers / self.tokens_generated
 
     def as_dict(self) -> Mapping[str, Dict[str, float]]:

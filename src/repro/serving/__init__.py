@@ -1,5 +1,20 @@
-"""Serving substrate: vLLM-style paged KV cache."""
+"""Serving substrate: paged KV cache plus the continuous-batching engine."""
 
+from repro.serving.engine import RequestMetrics, ServingEngine, ServingReport
 from repro.serving.paged_kv import BlockAllocator, PagedKVCache
+from repro.serving.request import AdmissionPolicy, Request, RequestQueue
+from repro.serving.scheduler import ContinuousBatchScheduler, SequenceSlot, TickOutcome
 
-__all__ = ["BlockAllocator", "PagedKVCache"]
+__all__ = [
+    "AdmissionPolicy",
+    "BlockAllocator",
+    "ContinuousBatchScheduler",
+    "PagedKVCache",
+    "Request",
+    "RequestMetrics",
+    "RequestQueue",
+    "SequenceSlot",
+    "ServingEngine",
+    "ServingReport",
+    "TickOutcome",
+]

@@ -1,0 +1,205 @@
+"""The throughput-oriented serving engine: many requests, one SpecEE engine.
+
+:class:`ServingEngine` owns the paged KV pool, the admission policy and the
+continuous-batch scheduler; :meth:`run` drains a request list and returns a
+:class:`ServingReport` with per-request :class:`GenerationResult`\\ s,
+queue/latency metrics (in scheduler steps) and two cost ledgers:
+
+* ``sequential_ledger`` — the merge of every request's own ledger, i.e. what
+  serving the same workload one request at a time would cost, and
+* ``serving_ledger`` — the same events with per-sequence ``DECODER_LAYER``
+  calls replaced by shared ``BATCH_DECODER_LAYER`` executions (one weight
+  pass per layer per tick serves every sequence still alive at that depth).
+
+Pricing both through the roofline :class:`~repro.hardware.latency.LatencyModel`
+yields the modelled continuous-batching speedup; because single-stream decode
+is weight-bandwidth-bound, sharing the weight pass across the batch is where
+vLLM-style serving throughput comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import GenerationResult, SpecEEEngine
+from repro.core.scheduling import Scheduler, make_scheduler
+from repro.hardware.ledger import CostLedger, Event
+from repro.serving.paged_kv import PagedKVCache
+from repro.serving.request import AdmissionPolicy, Request
+from repro.serving.scheduler import ContinuousBatchScheduler
+
+__all__ = ["RequestMetrics", "ServingReport", "ServingEngine"]
+
+
+@dataclass
+class RequestMetrics:
+    """Queueing/latency accounting for one request, in scheduler steps."""
+
+    request_id: int
+    submitted_step: int
+    admitted_step: int
+    finished_step: int
+    tokens: int
+
+    @property
+    def queue_wait_steps(self) -> int:
+        return self.admitted_step - self.submitted_step
+
+    @property
+    def service_steps(self) -> int:
+        return self.finished_step - self.admitted_step + 1
+
+    @property
+    def latency_steps(self) -> int:
+        return self.finished_step - self.submitted_step + 1
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one :meth:`ServingEngine.run`."""
+
+    results: Dict[int, GenerationResult] = field(default_factory=dict)
+    metrics: Dict[int, RequestMetrics] = field(default_factory=dict)
+    serving_ledger: CostLedger = field(default_factory=CostLedger)
+    sequential_ledger: CostLedger = field(default_factory=CostLedger)
+    n_steps: int = 0
+    batch_occupancy: List[int] = field(default_factory=list)
+    peak_kv_blocks: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(len(r.tokens) for r in self.results.values())
+
+    @property
+    def avg_batch_occupancy(self) -> float:
+        if not self.batch_occupancy:
+            return float("nan")
+        return float(np.mean(self.batch_occupancy))
+
+    @property
+    def mean_queue_wait_steps(self) -> float:
+        if not self.metrics:
+            return float("nan")
+        return float(np.mean([m.queue_wait_steps for m in self.metrics.values()]))
+
+    @property
+    def mean_latency_steps(self) -> float:
+        if not self.metrics:
+            return float("nan")
+        return float(np.mean([m.latency_steps for m in self.metrics.values()]))
+
+    def p95_latency_steps(self) -> float:
+        if not self.metrics:
+            return float("nan")
+        return float(np.percentile([m.latency_steps for m in self.metrics.values()], 95))
+
+    def priced_speedup(self, model_spec, device: str, framework: str,
+                       cpu_device: Optional[str] = None) -> Dict[str, float]:
+        """Modelled tokens/s of continuous batching vs sequential serving."""
+        from repro.hardware.latency import LatencyModel
+
+        latency = LatencyModel(model_spec, device, framework, cpu_device=cpu_device)
+        serving = latency.price(self.serving_ledger)
+        sequential = latency.price(self.sequential_ledger)
+        return {
+            "serving_tps": serving.tokens_per_second,
+            "sequential_tps": sequential.tokens_per_second,
+            "speedup": serving.tokens_per_second / sequential.tokens_per_second
+            if sequential.tokens_per_second > 0 else float("nan"),
+        }
+
+
+class ServingEngine:
+    """Continuous-batching front-end over one :class:`SpecEEEngine`."""
+
+    def __init__(
+        self,
+        engine: SpecEEEngine,
+        batch_capacity: int = 8,
+        kv_blocks: int = 256,
+        block_size: int = 16,
+        n_kv_heads: Optional[int] = None,
+        scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+    ):
+        self.engine = engine
+        hidden = engine.model.hidden_dim
+        if n_kv_heads is None:
+            n_kv_heads = 4 if hidden % 4 == 0 else 1
+        if hidden % n_kv_heads != 0:
+            raise ValueError(f"n_kv_heads={n_kv_heads} must divide hidden_dim={hidden}")
+        self.cache = PagedKVCache(
+            n_blocks=kv_blocks, block_size=block_size,
+            n_kv_heads=n_kv_heads, head_dim=hidden // n_kv_heads,
+        )
+        self.policy = AdmissionPolicy(
+            n_blocks=kv_blocks, block_size=block_size, batch_capacity=batch_capacity,
+        )
+        if scheduler_factory is None:
+            cfg = engine.config
+            scheduler_factory = lambda: make_scheduler(
+                cfg.scheduler, engine.model.n_layers,
+                window=cfg.context_window, vicinity=cfg.layer_vicinity,
+            )
+        self.scheduler_factory = scheduler_factory
+
+    def run(self, requests: Sequence[Request]) -> ServingReport:
+        """Serve ``requests`` to completion with continuous batching."""
+        scheduler = ContinuousBatchScheduler(
+            self.engine, self.cache, self.policy, self.scheduler_factory,
+        )
+        for request in requests:
+            scheduler.submit(request)
+        report = ServingReport()
+        batched_calls = 0.0
+        batched_units = 0.0
+        while scheduler.has_work:
+            outcome = scheduler.tick()
+            report.batch_occupancy.append(outcome.occupancy)
+            report.peak_kv_blocks = max(report.peak_kv_blocks, outcome.kv_blocks_in_use)
+            for batch in outcome.layer_batches():
+                batched_calls += 1
+                batched_units += batch
+            for slot in outcome.retired:
+                report.results[slot.request.request_id] = slot.result
+                report.metrics[slot.request.request_id] = RequestMetrics(
+                    request_id=slot.request.request_id,
+                    submitted_step=0,
+                    admitted_step=slot.admitted_step,
+                    finished_step=slot.finished_step,
+                    tokens=len(slot.result.tokens),
+                )
+        report.n_steps = scheduler.step_count
+        for result in report.results.values():
+            report.sequential_ledger.merge(result.ledger)
+        report.serving_ledger = _rebatch_ledger(
+            report.sequential_ledger, batched_calls, batched_units, report.n_steps,
+        )
+        return report
+
+
+def _rebatch_ledger(
+    merged: CostLedger, batched_calls: float, batched_units: float, n_steps: int
+) -> CostLedger:
+    """Serving-side ledger: every per-sequence event except the decoder
+    layers, which are replaced by their shared batched executions.  The
+    batched token-layer count must equal the per-sequence layer-call count —
+    batching shares weight traffic, it never skips work."""
+    if batched_units != merged.calls(Event.DECODER_LAYER):
+        raise AssertionError(
+            f"batched layer-tokens {batched_units} != per-sequence layer calls "
+            f"{merged.calls(Event.DECODER_LAYER)}"
+        )
+    out = CostLedger()
+    for kind in merged.kinds():
+        if kind == Event.DECODER_LAYER:
+            continue
+        out.add(kind, calls=merged.calls(kind), units=merged.units(kind))
+    if batched_calls:
+        out.add(Event.BATCH_DECODER_LAYER, calls=batched_calls, units=batched_units)
+    out.tokens_generated = merged.tokens_generated
+    out.prompt_tokens = merged.prompt_tokens
+    out.steps = n_steps
+    return out

@@ -1,0 +1,112 @@
+"""Serving requests, the FIFO queue and the KV admission policy.
+
+A :class:`Request` is one user generation job.  :class:`RequestQueue` is the
+waiting room; :class:`AdmissionPolicy` decides when the head of the queue may
+join the running batch.  The policy is deliberately conservative — vLLM-style
+*reservation*: a request is admitted only if its worst-case paged-KV block
+need fits in the unreserved pool, so a running sequence can never hit
+``MemoryError`` mid-decode and no preemption/recompute machinery is needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+__all__ = ["Request", "RequestQueue", "AdmissionPolicy"]
+
+
+@dataclass
+class Request:
+    """One generation job submitted to the serving engine."""
+
+    request_id: int
+    prompt: List[int]
+    max_new_tokens: int
+    script: Optional[List[int]] = None
+
+    def __post_init__(self) -> None:
+        self.prompt = [int(t) for t in self.prompt]
+        if not self.prompt:
+            raise ValueError("request prompt must contain at least one token")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.script is not None:
+            self.script = [int(t) for t in self.script]
+
+
+class RequestQueue:
+    """FIFO queue of pending requests with duplicate-id rejection."""
+
+    def __init__(self, requests: Sequence[Request] = ()):
+        self._queue: Deque[Request] = deque()
+        self._ids: set[int] = set()
+        for request in requests:
+            self.submit(request)
+
+    def submit(self, request: Request) -> None:
+        if request.request_id in self._ids:
+            raise ValueError(f"request id {request.request_id} already queued")
+        self._ids.add(request.request_id)
+        self._queue.append(request)
+
+    def peek(self) -> Request:
+        if not self._queue:
+            raise IndexError("peek on empty request queue")
+        return self._queue[0]
+
+    def pop(self) -> Request:
+        if not self._queue:
+            raise IndexError("pop on empty request queue")
+        request = self._queue.popleft()
+        self._ids.discard(request.request_id)
+        return request
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+
+@dataclass
+class AdmissionPolicy:
+    """Worst-case KV reservation over a fixed block pool.
+
+    ``blocks_needed`` is the ceiling of the request's decode-token budget over
+    the block size (the paged cache stores one KV entry per *generated*
+    token; prompt prefill is priced by the ledger, not paged).  A request is
+    admissible iff the batch has a free slot and the pool's unreserved blocks
+    cover that worst case.
+    """
+
+    n_blocks: int
+    block_size: int
+    batch_capacity: int
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 1:
+            raise ValueError("n_blocks must be >= 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if self.batch_capacity < 1:
+            raise ValueError("batch_capacity must be >= 1")
+
+    def blocks_needed(self, request: Request) -> int:
+        return -(-request.max_new_tokens // self.block_size)
+
+    def admissible(self, request: Request, reserved_blocks: int, running: int) -> bool:
+        """Whether ``request`` may join a batch of ``running`` sequences that
+        have ``reserved_blocks`` blocks spoken for.  Raises ``MemoryError``
+        for a request that could never fit even in an empty pool."""
+        need = self.blocks_needed(request)
+        if need > self.n_blocks:
+            raise MemoryError(
+                f"request {request.request_id} needs {need} KV blocks "
+                f"({request.max_new_tokens} tokens @ block_size="
+                f"{self.block_size}) but the pool only has {self.n_blocks}"
+            )
+        if running >= self.batch_capacity:
+            return False
+        return reserved_blocks + need <= self.n_blocks

@@ -44,3 +44,15 @@ class TestCommands:
         path = tmp_path / "report.txt"
         assert main(["run", "table02_03_configs", "--out", str(path)]) == 0
         assert "hardware platforms" in path.read_text()
+
+    def test_serve(self, capsys):
+        assert main(["serve", "--requests", "5", "--max-new-tokens", "12",
+                     "--batch-capacity", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "continuous batching" in out
+        assert "throughput speedup" in out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.batch_capacity == 8 and args.scheduler == "two_level"
+        assert args.framework == "vllm"

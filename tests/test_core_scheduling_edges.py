@@ -1,0 +1,87 @@
+"""Edge cases for predictor scheduling: empty exit profiles, single-layer
+models, and all-layers-active configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling import (
+    AllLayersScheduler,
+    FixedSetScheduler,
+    OfflineScheduler,
+    OnlineScheduler,
+    TwoLevelScheduler,
+    make_scheduler,
+    profile_exit_frequencies,
+)
+from repro.eval.harness import build_rig
+
+RIG_KWARGS = dict(train_prompts=6, train_tokens=30, predictor_hidden=128, epochs=10)
+
+
+class TestEmptyProfile:
+    def test_empty_exit_trace_gives_zero_histogram(self):
+        freqs = profile_exit_frequencies([], 8)
+        assert freqs.shape == (8,) and not freqs.any()
+
+    def test_offline_kind_on_empty_profile_covers_all_layers(self):
+        """With no profiled exits there is nothing to rank: the offline
+        scheduler degrades to full coverage rather than zero coverage."""
+        scheduler = make_scheduler("offline", 8, offline=OfflineScheduler(np.zeros(8)))
+        assert all(scheduler.is_active(l) for l in range(8))
+
+    def test_two_level_empty_offline_cold_starts_fully_active(self):
+        scheduler = TwoLevelScheduler(8, offline=OfflineScheduler(np.zeros(8)),
+                                      offline_top_k=4)
+        assert scheduler.offline_set == frozenset()
+        assert all(scheduler.is_active(l) for l in range(7))
+        scheduler.observe_exit(3)
+        assert not scheduler.is_active(0)  # warmed up: vicinity of 3 only
+        assert scheduler.is_active(3)
+
+    def test_top_k_of_empty_profile_is_empty(self):
+        assert OfflineScheduler(np.zeros(6)).select_top_k(4) == frozenset()
+
+
+class TestSingleLayerModel:
+    def test_all_layers_scheduler_has_no_exit_site(self):
+        scheduler = AllLayersScheduler(1)
+        assert not scheduler.is_active(0)
+        assert scheduler.active_count() == 0.0
+
+    def test_online_scheduler_rejects_single_layer(self):
+        with pytest.raises(ValueError):
+            OnlineScheduler(1)
+        with pytest.raises(ValueError):
+            make_scheduler("online", 1)
+
+    def test_two_layer_model_can_only_exit_at_layer_zero(self):
+        scheduler = make_scheduler("online", 2, window=3, vicinity=1)
+        scheduler.observe_exit(0)
+        assert scheduler.is_active(0)
+        assert scheduler.active_count() >= 1.0
+
+
+class TestAllLayersActive:
+    def test_fixed_full_set_matches_all_layers_scheduler(self):
+        """A fixed set covering every exit site is behaviourally identical to
+        AllLayersScheduler over an entire generation."""
+        rig = build_rig("llama2-7b", **RIG_KWARGS)
+        n = rig.model.n_layers
+        engine_all = rig.specee_engine("all")
+        result_all = engine_all.generate([3, 1, 4], 40)
+        fixed = FixedSetScheduler(range(n - 1))
+        from repro.config import SpecEEConfig
+        from repro.core.engine import SpecEEEngine
+
+        engine_fixed = SpecEEEngine(rig.model, rig.speculator, rig.bank,
+                                    SpecEEConfig(), scheduler=fixed)
+        result_fixed = engine_fixed.generate([3, 1, 4], 40)
+        assert result_fixed.tokens == result_all.tokens
+        assert result_fixed.exit_layers == result_all.exit_layers
+
+    def test_all_active_exits_respect_min_exit_layer(self):
+        rig = build_rig("llama2-7b", **RIG_KWARGS)
+        result = rig.specee_engine("all").generate([2, 7, 1], 60)
+        early = [e for e, r in zip(result.exit_layers, result.records) if r.early_exit]
+        assert early, "all-layers-active run should exit early somewhere"
+        assert all(e >= rig.specee_engine("all").config.min_exit_layer for e in early)

@@ -1,0 +1,139 @@
+"""Allocator/paged-cache invariants the serving engine depends on:
+double-free rejection, pool exhaustion, and bit-exact gather reads under
+heavy fragmentation from interleaved allocation and freeing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serving.paged_kv import BlockAllocator, PagedKVCache
+
+
+def _kv(rng, heads=1, dim=2):
+    return rng.standard_normal((heads, dim))
+
+
+class TestBlockAllocatorInvariants:
+    def test_double_free_rejected(self):
+        alloc = BlockAllocator(4)
+        block = alloc.allocate()
+        alloc.free(block)
+        with pytest.raises(ValueError):
+            alloc.free(block)
+
+    def test_free_of_never_allocated_rejected(self):
+        alloc = BlockAllocator(4)
+        with pytest.raises(ValueError):
+            alloc.free(0)
+
+    def test_exhaustion_raises_memoryerror(self):
+        alloc = BlockAllocator(3)
+        for _ in range(3):
+            alloc.allocate()
+        with pytest.raises(MemoryError):
+            alloc.allocate()
+
+    def test_freed_blocks_are_reusable(self):
+        alloc = BlockAllocator(2)
+        a = alloc.allocate()
+        b = alloc.allocate()
+        alloc.free(b)
+        alloc.free(a)
+        seen = {alloc.allocate(), alloc.allocate()}
+        assert seen == {a, b}
+        assert alloc.free_blocks == 0
+
+    def test_no_block_handed_out_twice(self):
+        alloc = BlockAllocator(16)
+        live = set()
+        for _ in range(16):
+            block = alloc.allocate()
+            assert block not in live
+            live.add(block)
+
+
+class TestPagedCacheInvariants:
+    def test_cache_exhaustion_raises_memoryerror(self):
+        cache = PagedKVCache(n_blocks=2, block_size=2, n_kv_heads=1, head_dim=2)
+        cache.add_sequence(0)
+        for _ in range(4):
+            cache.append(0, np.zeros((1, 2)), np.zeros((1, 2)))
+        with pytest.raises(MemoryError):
+            cache.append(0, np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_double_free_sequence_rejected(self):
+        cache = PagedKVCache(n_blocks=4, block_size=2, n_kv_heads=1, head_dim=2)
+        cache.add_sequence(7)
+        cache.append(7, np.ones((1, 2)), np.ones((1, 2)))
+        cache.free_sequence(7)
+        with pytest.raises(KeyError):
+            cache.free_sequence(7)
+
+    def test_append_to_freed_sequence_rejected(self):
+        cache = PagedKVCache(n_blocks=4, block_size=2, n_kv_heads=1, head_dim=2)
+        cache.add_sequence(0)
+        cache.free_sequence(0)
+        with pytest.raises(KeyError):
+            cache.append(0, np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_gather_bit_exact_under_fragmentation(self):
+        """Interleaved alloc/free shuffles physical block order; gathered
+        reads must still equal a contiguous reference bit for bit."""
+        rng = np.random.default_rng(0)
+        cache = PagedKVCache(n_blocks=24, block_size=3, n_kv_heads=2, head_dim=4)
+        reference: dict[int, list] = {}
+        next_id = 0
+        for op in rng.integers(0, 10, size=400):
+            live = sorted(reference)
+            if op == 0 or not live:  # open a new sequence
+                cache.add_sequence(next_id)
+                reference[next_id] = []
+                next_id += 1
+            elif op == 1 and len(live) > 1:  # retire one, fragmenting the pool
+                victim = int(rng.choice(live))
+                cache.free_sequence(victim)
+                del reference[victim]
+            else:  # append to a random live sequence
+                seq = int(rng.choice(live))
+                if cache.allocator.free_blocks == 0 and \
+                        len(reference[seq]) % cache.block_size == 0:
+                    continue
+                k, v = _kv(rng, 2, 4), _kv(rng, 2, 4)
+                cache.append(seq, k, v)
+                reference[seq].append((k, v))
+            for seq, pairs in reference.items():
+                ks, vs = cache.gather(seq)
+                assert ks.shape[0] == len(pairs)
+                if pairs:
+                    assert np.array_equal(ks, np.stack([k for k, _ in pairs]))
+                    assert np.array_equal(vs, np.stack([v for _, v in pairs]))
+        for seq in sorted(reference):
+            cache.free_sequence(seq)
+        assert cache.allocator.free_blocks == 24
+        assert cache.blocks_in_use() == 0
+
+    @given(st.lists(st.sampled_from(["a0", "a1", "a2", "f0", "f1", "f2"]),
+                    min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_alloc_free_cycles_never_leak(self, ops):
+        """Block accounting stays exact through arbitrary alloc/free orders."""
+        cache = PagedKVCache(n_blocks=64, block_size=2, n_kv_heads=1, head_dim=2)
+        rng = np.random.default_rng(1)
+        live: set[int] = set()
+        lengths = {0: 0, 1: 0, 2: 0}
+        for op in ops:
+            seq = int(op[1])
+            if op[0] == "a":
+                if seq not in live:
+                    cache.add_sequence(seq)
+                    live.add(seq)
+                    lengths[seq] = 0
+                cache.append(seq, _kv(rng), _kv(rng))
+                lengths[seq] += 1
+            elif seq in live:
+                cache.free_sequence(seq)
+                live.remove(seq)
+                lengths[seq] = 0
+        expected_blocks = sum(-(-lengths[s] // 2) for s in live)
+        assert cache.blocks_in_use() == expected_blocks
+        assert cache.allocator.free_blocks == 64 - expected_blocks
