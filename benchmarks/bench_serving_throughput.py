@@ -5,8 +5,10 @@ decoding (the merge of every request's own ledger) and continuous batching
 over the paged KV cache (shared weight passes per decoder layer).  Decode is
 weight-bandwidth-bound, so batching must deliver >= 2x modelled tokens/s.
 
-Run standalone:  PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+Run standalone:  PYTHONPATH=src python benchmarks/bench_serving_throughput.py [--json OUT]
 """
+
+import json
 
 from repro.data.corpus import generate_prompts
 from repro.eval.harness import build_rig
@@ -47,6 +49,18 @@ def render(report, priced) -> str:
     ])
 
 
+def summarize(report, priced) -> dict:
+    return {
+        "requests": len(report.results),
+        "tokens": report.total_tokens,
+        "steps": report.n_steps,
+        "avg_occupancy": round(report.avg_batch_occupancy, 2),
+        "sequential_tps": round(priced["sequential_tps"], 2),
+        "serving_tps": round(priced["serving_tps"], 2),
+        "speedup": round(priced["speedup"], 3),
+    }
+
+
 def test_bench_serving_throughput(benchmark):
     report, priced = benchmark.pedantic(run_serving_benchmark, rounds=1, iterations=1)
     print()
@@ -56,4 +70,14 @@ def test_bench_serving_throughput(benchmark):
 
 
 if __name__ == "__main__":
-    print(render(*run_serving_benchmark()))
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, help="write metrics JSON here")
+    args = parser.parse_args()
+    report, priced = run_serving_benchmark()
+    print(render(report, priced))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summarize(report, priced), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")

@@ -1,0 +1,86 @@
+"""Benchmark regression gate for CI.
+
+Compares a freshly produced benchmark JSON against its committed baseline in
+``benchmarks/baselines/`` and fails (exit 1) when any gated throughput metric
+regresses more than the tolerance (default 10%).  Gated metrics are listed per
+file in ``GATES`` as dotted paths into the JSON; everything else is
+informational.  Higher is always better for gated metrics.
+
+Usage:  python benchmarks/check_regression.py BENCH_serving.json [BENCH_async_slo.json ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+TOLERANCE = 0.10
+
+# file name -> dotted paths of higher-is-better metrics gated against baseline
+GATES = {
+    "BENCH_serving.json": ["serving_tps", "speedup"],
+    "BENCH_async_slo.json": [
+        "speculative.throughput_tps",
+        "speculative.slo_attainment",
+    ],
+}
+
+
+def lookup(blob: dict, path: str):
+    node = blob
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError(f"metric {path!r} missing")
+        node = node[key]
+    return float(node)
+
+
+def check_file(current_path: str, tolerance: float) -> list[str]:
+    name = os.path.basename(current_path)
+    if name not in GATES:
+        return [f"{name}: no gate registered for this benchmark file"]
+    baseline_path = os.path.join(BASELINE_DIR, name)
+    if not os.path.exists(baseline_path):
+        return [f"{name}: committed baseline {baseline_path} is missing"]
+    with open(current_path) as fh:
+        current = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for path in GATES[name]:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        floor = base * (1.0 - tolerance)
+        status = "OK " if cur >= floor else "FAIL"
+        print(f"  [{status}] {name}:{path}  current={cur:g}  baseline={base:g}  "
+              f"floor={floor:g}")
+        if cur < floor:
+            failures.append(
+                f"{name}:{path} regressed {(1 - cur / base):.1%} "
+                f"(current {cur:g} < floor {floor:g}, baseline {base:g})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="freshly produced benchmark JSONs")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed fractional drop vs baseline (default 0.10)")
+    args = parser.parse_args(argv)
+    failures: list[str] = []
+    for path in args.files:
+        failures.extend(check_file(path, args.tolerance))
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

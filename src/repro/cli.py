@@ -58,6 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["hf", "vllm", "awq", "flashattention"])
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--out", default=None, help="write the report to a file")
+    # Async trace-driven serving (ignored when --trace off).
+    serve.add_argument("--trace", default="off", choices=["off", "poisson", "bursty"],
+                       help="drive an async arrival trace instead of a closed batch")
+    serve.add_argument("--rate", type=float, default=10.0,
+                       help="poisson arrival rate, requests per modelled second")
+    serve.add_argument("--burst-size", type=int, default=4)
+    serve.add_argument("--burst-gap", type=float, default=0.5,
+                       help="seconds between bursts (bursty trace)")
+    serve.add_argument("--slo-scale", type=float, default=3.0,
+                       help="deadline = slo-scale x ideal service time")
+    serve.add_argument("--admission", default="optimistic",
+                       choices=["optimistic", "reserve"])
+    serve.add_argument("--preemption", default="auto",
+                       choices=["auto", "swap", "recompute", "never"])
+    serve.add_argument("--chunk-prefill", type=int, default=32,
+                       help="prefill tokens per tick (0 = unchunked, monopolising)")
     return parser
 
 
@@ -108,6 +124,63 @@ def _cmd_info(name: str, out: IO[str]) -> int:
     return 2
 
 
+def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
+    """Async trace-driven serving: arrivals, SLOs, preemption, chunking."""
+    from repro.serving import bursty_trace, poisson_trace
+
+    start = time.perf_counter()
+    try:
+        serving = rig.async_serving_engine(
+            scheduler_kind=args.scheduler, device=args.device,
+            framework=args.framework, batch_capacity=args.batch_capacity,
+            kv_blocks=args.kv_blocks, block_size=args.block_size,
+            admission=args.admission, preemption=args.preemption,
+            chunk_prefill_tokens=args.chunk_prefill or None,
+        )
+        # Deadlines scale from the same latency model that prices the run.
+        trace_kwargs = dict(
+            vocab_size=rig.model.vocab_size, slo_scale=args.slo_scale,
+            per_token_s=serving.latency.full_depth_token_time(),
+            seed=args.seed + 7,
+            max_new_tokens_range=(max(args.max_new_tokens // 2, 1),
+                                  args.max_new_tokens),
+        )
+        if args.trace == "poisson":
+            trace = poisson_trace(args.requests, args.rate, **trace_kwargs)
+        else:
+            trace = bursty_trace(args.requests, args.burst_size, args.burst_gap,
+                                 **trace_kwargs)
+        report = serving.run(trace)
+    except (MemoryError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    rows = [
+        ["requests served", len(report.results)],
+        ["requests rejected", len(report.rejected)],
+        ["tokens generated", report.total_tokens],
+        ["scheduler ticks", report.n_steps],
+        ["makespan (modelled s)", f"{report.makespan_s:.3f}"],
+        ["throughput tokens/s", f"{report.throughput_tps:.1f}"],
+        ["sequential tokens/s", f"{report.sequential_tps:.1f}"],
+        ["throughput speedup", f"{report.speedup:.2f}x"],
+        ["SLO attainment", f"{report.slo_attainment:.0%}"],
+        ["mean latency (s)", f"{report.mean_latency_s:.3f}"],
+        ["p95 latency (s)", f"{report.p95_latency_s():.3f}"],
+        ["avg batch occupancy", f"{report.avg_batch_occupancy:.2f}"],
+        ["peak KV blocks", f"{report.peak_kv_blocks} / {serving.cache.allocator.n_blocks}"],
+        ["preemptions (swap/recompute)",
+         f"{report.preemptions} ({report.swaps}/{report.recomputes})"],
+        ["peak host-pool tokens", report.peak_host_tokens],
+    ]
+    title = (f"async serving: {args.model} @ {args.device}/{args.framework}, "
+             f"{args.trace} trace, {args.admission} admission, "
+             f"{args.preemption} preemption, chunk={args.chunk_prefill}")
+    print(render_table(["metric", "value"], rows, title=title), file=out)
+    print(f"[serve completed in {elapsed:.1f}s]", file=out)
+    return 0
+
+
 def _cmd_serve(args, out: IO[str]) -> int:
     from repro.data.corpus import generate_prompts
     from repro.eval.harness import build_rig
@@ -115,6 +188,8 @@ def _cmd_serve(args, out: IO[str]) -> int:
 
     rig = build_rig(args.model, seed=args.seed, train_prompts=6, train_tokens=30,
                     predictor_hidden=128, epochs=10)
+    if args.trace != "off":
+        return _cmd_serve_trace(args, rig, out)
     start = time.perf_counter()
     try:
         serving = rig.serving_engine(

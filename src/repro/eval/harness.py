@@ -152,6 +152,27 @@ class Rig:
         factory = lambda: self.make_scheduler(scheduler_kind, cfg, offline_top_k)
         return ServingEngine(engine, scheduler_factory=factory, **serving_kwargs)
 
+    def async_serving_engine(
+        self,
+        scheduler_kind: str = "two_level",
+        config: Optional[SpecEEConfig] = None,
+        offline_top_k: int = 4,
+        device: str = "a100-80g",
+        framework: str = "vllm",
+        **serving_kwargs,
+    ) -> "AsyncServingEngine":
+        """Trace-driven async server (arrivals, preemption, chunked prefill)
+        over this rig's SpecEE engine, priced for (model, device, framework)."""
+        from repro.config import get_model_spec
+        from repro.serving.async_engine import AsyncServingEngine
+
+        cfg = config or SpecEEConfig(scheduler=scheduler_kind)
+        engine = self.specee_engine(scheduler_kind, cfg, offline_top_k)
+        factory = lambda: self.make_scheduler(scheduler_kind, cfg, offline_top_k)
+        return AsyncServingEngine(
+            engine, get_model_spec(self.model_name), device=device,
+            framework=framework, scheduler_factory=factory, **serving_kwargs)
+
     def fresh_model(self) -> SyntheticLayeredLM:
         """A new model instance with identical semantics (independent state)."""
         return SyntheticLayeredLM(self.model.profile, self.sim, seed=self.seed)

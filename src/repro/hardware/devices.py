@@ -26,9 +26,10 @@ class DeviceSpec:
     tdp_w: float              # board/package power limit
     idle_w: float             # idle power draw
     vram_gb: float = 0.0      # device memory (0 = host memory, not enforced)
+    pcie_gbps: float = 25.0   # achievable host link bandwidth (KV swap traffic)
 
     def __post_init__(self) -> None:
-        if self.fp16_tflops <= 0 or self.mem_bw_gbps <= 0:
+        if self.fp16_tflops <= 0 or self.mem_bw_gbps <= 0 or self.pcie_gbps <= 0:
             raise ValueError("throughput parameters must be positive")
         if self.kind not in {"gpu", "cpu"}:
             raise ValueError(f"unknown device kind {self.kind!r}")
@@ -40,6 +41,10 @@ class DeviceSpec:
     @property
     def flops_per_second(self) -> float:
         return self.fp16_tflops * 1e12
+
+    @property
+    def pcie_bytes_per_second(self) -> float:
+        return self.pcie_gbps * 1e9
 
 
 DEVICES: Dict[str, DeviceSpec] = {

@@ -34,6 +34,7 @@ EVENT_INTENSITY: Dict[str, float] = {
     Event.DRAFT_STEP: 0.30,
     Event.RETRIEVAL: 0.35,
     Event.KV_FILL: 0.12,
+    Event.KV_SWAP: 0.08,             # DMA over the host link, cores idle
     Event.TREE_FEATURE_GEMM: 0.30,
 }
 _DEFAULT_INTENSITY = 0.35

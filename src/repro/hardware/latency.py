@@ -136,6 +136,32 @@ class LatencyModel:
         bytes_ = entries * self.model.hidden_dim * 2.0
         return bytes_ / dev.bytes_per_second + dev.kernel_overhead_us * 1e-6
 
+    def full_depth_token_time(self) -> float:
+        """Ideal single-stream decode time for one token at full depth — the
+        service-time unit SLO deadlines are scaled from (workload generation
+        and the serve CLI must agree on this definition)."""
+        return self.model.n_layers * self.decoder_layer_time(1.0)
+
+    def kv_swap_time(self, tokens: float) -> float:
+        """Moving ``tokens`` worth of paged KV across the host link, one way.
+
+        Swap traffic is the *real* model's cache — every layer's K and V for
+        each token (fp16, independent of the weight dtype) — DMA'd over PCIe.
+        This is what preemption-by-swap costs; preemption-by-recompute pays
+        :meth:`prefill_layer_time` over the context instead.
+        """
+        bytes_ = tokens * 2.0 * self.model.n_layers * self.model.kv_heads * self.model.head_dim * 2.0
+        return bytes_ / self.device.pcie_bytes_per_second + self.device.kernel_overhead_us * 1e-6
+
+    def preempt_costs(self, tokens: float, context_tokens: float) -> Dict[str, float]:
+        """Modelled cost of evicting a ``tokens``-long paged sequence whose
+        full context is ``context_tokens``: swap pays the link twice (out now,
+        in at resume); recompute pays a prefill pass over the context."""
+        return {
+            "swap": 2.0 * self.kv_swap_time(tokens),
+            "recompute": self.model.n_layers * self.prefill_layer_time(max(context_tokens, 1.0)),
+        }
+
     def kv_fill_time(self, layers: float) -> float:
         """KV propagation for skipped layers: 2 projections per layer."""
         fw, dev = self.framework, self.device
@@ -199,6 +225,8 @@ class LatencyModel:
             put(e.RETRIEVAL, calls(e.RETRIEVAL) * self.retrieval_time(avg_entries))
         if calls(e.KV_FILL):
             put(e.KV_FILL, self.kv_fill_time(units(e.KV_FILL)))
+        if calls(e.KV_SWAP):
+            put(e.KV_SWAP, self.kv_swap_time(units(e.KV_SWAP)))
         if calls(e.TREE_FEATURE_GEMM):
             avg_tokens = units(e.TREE_FEATURE_GEMM) / calls(e.TREE_FEATURE_GEMM)
             put(e.TREE_FEATURE_GEMM,

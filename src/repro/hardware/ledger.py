@@ -33,10 +33,11 @@ class Event:
     TREE_FEATURE_GEMM = "tree_feature_gemm"  # grouped GEMM over tree (units = tokens)
     RETRIEVAL = "retrieval_lookup"           # RAEE database kNN
     KV_FILL = "kv_fill"                      # early-exit KV propagation (units = layers)
+    KV_SWAP = "kv_swap"                      # paged-KV host transfer (units = tokens)
     ALL = (
         PREFILL_LAYER, DECODER_LAYER, BATCH_DECODER_LAYER, LM_HEAD_FULL,
         LM_HEAD_SLICE, PREDICTOR, SVM_PREDICT, FEATURE_STATS, DRAFT_STEP,
-        TREE_VERIFY_LAYER, TREE_FEATURE_GEMM, RETRIEVAL, KV_FILL,
+        TREE_VERIFY_LAYER, TREE_FEATURE_GEMM, RETRIEVAL, KV_FILL, KV_SWAP,
     )
 
 
@@ -70,6 +71,35 @@ class CostLedger:
 
     def kinds(self) -> Iterator[str]:
         return iter(self._entries)
+
+    def drop(self, kind: str) -> None:
+        """Remove every recorded call of ``kind`` (used when a serving tick
+        replaces per-sequence events with their batched equivalent)."""
+        self._entries.pop(kind, None)
+
+    # -- incremental accounting ------------------------------------------------
+    def snapshot(self) -> Dict[str, tuple]:
+        """Cheap point-in-time view for :meth:`delta_since`."""
+        snap: Dict[str, tuple] = {
+            kind: (entry.calls, entry.units) for kind, entry in self._entries.items()
+        }
+        snap["__counters__"] = (self.tokens_generated, self.prompt_tokens, self.steps)
+        return snap
+
+    def delta_since(self, snapshot: Dict[str, tuple]) -> "CostLedger":
+        """Events accrued since ``snapshot`` (taken on this ledger) as a new
+        ledger — how serving ticks attribute per-step costs to wall-clock."""
+        out = CostLedger()
+        for kind, entry in self._entries.items():
+            calls0, units0 = snapshot.get(kind, (0.0, 0.0))
+            calls, units = entry.calls - calls0, entry.units - units0
+            if calls or units:
+                out.add(kind, calls=calls, units=units)
+        tokens0, prompt0, steps0 = snapshot.get("__counters__", (0, 0, 0))
+        out.tokens_generated = self.tokens_generated - tokens0
+        out.prompt_tokens = self.prompt_tokens - prompt0
+        out.steps = self.steps - steps0
+        return out
 
     # -- combinators ----------------------------------------------------------
     def merge(self, other: "CostLedger") -> "CostLedger":

@@ -1,12 +1,24 @@
-"""Serving substrate: paged KV cache plus the continuous-batching engine."""
+"""Serving substrate: paged KV cache plus the batching/async engines."""
 
+from repro.serving.async_engine import (
+    AsyncRequestMetrics,
+    AsyncSequence,
+    AsyncServingEngine,
+    AsyncServingReport,
+)
 from repro.serving.engine import RequestMetrics, ServingEngine, ServingReport
 from repro.serving.paged_kv import BlockAllocator, PagedKVCache
 from repro.serving.request import AdmissionPolicy, Request, RequestQueue
 from repro.serving.scheduler import ContinuousBatchScheduler, SequenceSlot, TickOutcome
+from repro.serving.workloads import ArrivalTrace, bursty_trace, poisson_trace
 
 __all__ = [
     "AdmissionPolicy",
+    "ArrivalTrace",
+    "AsyncRequestMetrics",
+    "AsyncSequence",
+    "AsyncServingEngine",
+    "AsyncServingReport",
     "BlockAllocator",
     "ContinuousBatchScheduler",
     "PagedKVCache",
@@ -17,4 +29,6 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "TickOutcome",
+    "bursty_trace",
+    "poisson_trace",
 ]

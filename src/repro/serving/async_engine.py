@@ -1,0 +1,507 @@
+"""Trace-driven async serving: arrivals, preemption, and chunked prefill.
+
+:class:`AsyncServingEngine` upgrades the closed-batch :class:`ServingEngine`
+to an open-loop, event-driven server.  Requests become visible at their
+``arrival_s`` timestamps on a modelled clock; each scheduler iteration
+("tick") is priced through the roofline :class:`LatencyModel` and advances
+the clock by its own cost, so SLO attainment and tokens/s come out of the
+same physics that prices everything else in this repo.
+
+Three mechanisms replace PR 1's conservative worst-case admission:
+
+* **Optimistic admission** (``admission="optimistic"``) admits a request as
+  soon as a batch slot and *any* free KV block exist, instead of reserving
+  the request's worst-case block need up front.  ``admission="reserve"``
+  keeps the old conservative policy as the baseline.
+* **Preemption** resolves the over-commitment optimism creates.  When the
+  pool cannot cover the blocks the next decode tick needs, the
+  lowest-priority, latest-arrived running sequence is evicted — either by
+  *swap* (its paged KV moves to a modelled host pool, priced as ``KV_SWAP``
+  link traffic both ways) or by *recompute* (blocks are freed outright and a
+  prefill pass over the full context is re-run at resume).  ``"auto"`` picks
+  whichever the roofline model prices cheaper for that sequence, which is the
+  vLLM swap-vs-recompute tradeoff made explicit.
+* **Chunked prefill** (``chunk_prefill_tokens=N``) feeds long prompts through
+  the batch ``N`` tokens per tick alongside ongoing decodes.  With chunking
+  off, a prefill monopolises its tick (no decode runs), which is how
+  non-chunked serving stalls time-between-tokens in practice.
+
+Preempted-then-resumed sequences are token-identical to uninterrupted
+decoding: the per-sequence model state and predictor scheduler survive
+preemption on the host (as they do in real servers — only device KV is
+evicted), swap-in restores cache contents bit-exactly, and recompute rebuilds
+them from the recorded exit hidden states.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import ModelSpec, get_model_spec
+from repro.core.engine import GenerationResult, SpecEEEngine
+from repro.core.scheduling import Scheduler
+from repro.hardware.latency import LatencyModel
+from repro.hardware.ledger import CostLedger, Event
+from repro.model.base import LMState
+from repro.serving.engine import build_paged_cache, default_scheduler_factory
+from repro.serving.paged_kv import PagedKVCache
+from repro.serving.request import AdmissionPolicy, Request
+
+__all__ = [
+    "AsyncSequence", "AsyncRequestMetrics", "AsyncServingReport",
+    "AsyncServingEngine",
+]
+
+ADMISSION_MODES = ("optimistic", "reserve")
+PREEMPTION_MODES = ("auto", "swap", "recompute", "never")
+
+
+@dataclass
+class AsyncSequence:
+    """One admitted request plus all its host-side survivable state."""
+
+    request: Request
+    state: LMState
+    result: GenerationResult
+    scheduler: Scheduler
+    admitted_step: int
+    prefill_remaining: int
+    blocks_reserved: int = 0  # reserve-mode worst-case hold, else 0
+    resume_mode: Optional[str] = None  # "swap" | "recompute" while preempted
+    preemptions: int = 0
+    swaps: int = 0
+    recomputes: int = 0
+    swapped_tokens: int = 0
+    finished_step: int = -1
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def done(self) -> bool:
+        return len(self.result.tokens) >= self.request.max_new_tokens
+
+    @property
+    def decodable(self) -> bool:
+        return self.prefill_remaining == 0
+
+    def victim_key(self):
+        """Sort ascending; the first entry is evicted first: lowest priority,
+        then latest arrival, then highest id."""
+        return (self.request.priority, -self.request.arrival_s, -self.request_id)
+
+    def service_key(self):
+        """Sort ascending; the first entry is served first: highest priority,
+        then earliest arrival, then lowest id."""
+        return (-self.request.priority, self.request.arrival_s, self.request_id)
+
+
+@dataclass
+class AsyncRequestMetrics:
+    """Per-request outcome on the modelled clock."""
+
+    request_id: int
+    arrival_s: float
+    deadline_s: Optional[float]
+    admitted_step: int
+    finished_step: int
+    finish_s: float
+    tokens: int
+    prompt_tokens: int
+    preemptions: int = 0
+    swaps: int = 0
+    recomputes: int = 0
+    swapped_tokens: int = 0
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def met_slo(self) -> Optional[bool]:
+        if self.deadline_s is None:
+            return None
+        return self.finish_s <= self.deadline_s
+
+
+@dataclass
+class AsyncServingReport:
+    """Outcome of one :meth:`AsyncServingEngine.run`."""
+
+    results: Dict[int, GenerationResult] = field(default_factory=dict)
+    metrics: Dict[int, AsyncRequestMetrics] = field(default_factory=dict)
+    rejected: Dict[int, str] = field(default_factory=dict)
+    serving_ledger: CostLedger = field(default_factory=CostLedger)
+    sequential_ledger: CostLedger = field(default_factory=CostLedger)
+    n_steps: int = 0
+    makespan_s: float = 0.0
+    sequential_time_s: float = float("nan")
+    batch_occupancy: List[int] = field(default_factory=list)
+    tick_seconds: List[float] = field(default_factory=list)
+    peak_kv_blocks: int = 0
+    peak_host_tokens: int = 0
+    preemptions: int = 0
+    swaps: int = 0
+    recomputes: int = 0
+    rejected_with_slo: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(len(r.tokens) for r in self.results.values())
+
+    @property
+    def throughput_tps(self) -> float:
+        if self.makespan_s <= 0:
+            return float("nan")
+        return self.total_tokens / self.makespan_s
+
+    @property
+    def sequential_tps(self) -> float:
+        if not self.sequential_time_s or math.isnan(self.sequential_time_s):
+            return float("nan")
+        return self.sequential_ledger.tokens_generated / self.sequential_time_s
+
+    @property
+    def speedup(self) -> float:
+        seq = self.sequential_tps
+        if math.isnan(seq) or seq <= 0:
+            return float("nan")
+        return self.throughput_tps / seq
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of deadline-carrying requests that finished in time.
+        Rejected requests with a deadline count as missed."""
+        met = 0
+        total = self.rejected_with_slo  # rejections never meet an SLO
+        for m in self.metrics.values():
+            if m.deadline_s is None:
+                continue
+            total += 1
+            met += bool(m.met_slo)
+        if total == 0:
+            return float("nan")
+        return met / total
+
+    @property
+    def avg_batch_occupancy(self) -> float:
+        if not self.batch_occupancy:
+            return float("nan")
+        return float(np.mean(self.batch_occupancy))
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.metrics:
+            return float("nan")
+        return float(np.mean([m.latency_s for m in self.metrics.values()]))
+
+    def p95_latency_s(self) -> float:
+        if not self.metrics:
+            return float("nan")
+        return float(np.percentile([m.latency_s for m in self.metrics.values()], 95))
+
+
+class AsyncServingEngine:
+    """Event-driven serving over one :class:`SpecEEEngine` (module docstring)."""
+
+    def __init__(
+        self,
+        engine: SpecEEEngine,
+        model_spec: Union[ModelSpec, str],
+        *,
+        device: str = "a100-80g",
+        framework: str = "vllm",
+        cpu_device: Optional[str] = None,
+        batch_capacity: int = 8,
+        kv_blocks: int = 256,
+        block_size: int = 16,
+        n_kv_heads: Optional[int] = None,
+        scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+        admission: str = "optimistic",
+        preemption: str = "auto",
+        chunk_prefill_tokens: Optional[int] = 32,
+    ):
+        if admission not in ADMISSION_MODES:
+            raise ValueError(f"admission must be one of {ADMISSION_MODES}")
+        if preemption not in PREEMPTION_MODES:
+            raise ValueError(f"preemption must be one of {PREEMPTION_MODES}")
+        if chunk_prefill_tokens is not None and chunk_prefill_tokens < 1:
+            raise ValueError("chunk_prefill_tokens must be >= 1 (or None)")
+        self.engine = engine
+        if isinstance(model_spec, str):
+            model_spec = get_model_spec(model_spec)
+        self.latency = LatencyModel(model_spec, device, framework, cpu_device=cpu_device)
+        self.cache = build_paged_cache(engine, kv_blocks, block_size, n_kv_heads)
+        self.policy = AdmissionPolicy(
+            n_blocks=kv_blocks, block_size=block_size, batch_capacity=batch_capacity,
+        )
+        self.scheduler_factory = scheduler_factory or default_scheduler_factory(engine)
+        self.admission = admission
+        self.preemption = preemption
+        self.chunk_prefill_tokens = chunk_prefill_tokens
+        # -- per-run state (reset by run()) --
+        self.waiting: List[Request] = []  # arrived, not yet admitted
+        self.running: List[AsyncSequence] = []
+        self.preempted: List[AsyncSequence] = []
+        self.reserved_blocks = 0
+        self.step_count = 0
+        self.now_s = 0.0
+
+    # -- tick phases ---------------------------------------------------------
+    def _absorb_arrivals(self, pending: List[Request], report: AsyncServingReport) -> None:
+        while pending and pending[0].arrival_s <= self.now_s + 1e-12:
+            request = pending.pop(0)
+            reason = self.policy.oversize_reason(request)
+            if reason:
+                report.rejected[request.request_id] = f"{reason}; it would wait forever"
+                if request.slo_s is not None:
+                    report.rejected_with_slo += 1
+                continue
+            self.waiting.append(request)
+        self.waiting.sort(key=lambda r: (-r.priority, r.arrival_s, r.request_id))
+
+    def _live_count(self) -> int:
+        return len(self.running) + len(self.preempted)
+
+    def _resume_preempted(self, tick: CostLedger) -> None:
+        """Bring evicted sequences back, highest priority first.  Resume has
+        precedence over fresh admission so preempted work cannot starve."""
+        self.preempted.sort(key=AsyncSequence.service_key)
+        while self.preempted:
+            slot = self.preempted[0]
+            tokens = len(slot.result.tokens)
+            blocks_now = -(-tokens // self.policy.block_size) if tokens else 0
+            # One extra block if the very next decode token opens a new block.
+            headroom = 1 if tokens % self.policy.block_size == 0 else 0
+            if self.cache.allocator.free_blocks < blocks_now + headroom:
+                break  # lower-priority slots must not jump the queue
+            self.preempted.pop(0)
+            if slot.resume_mode == "swap":
+                moved = self.cache.swap_in(slot.request_id)
+                tick.add(Event.KV_SWAP, calls=1, units=moved)
+                slot.swapped_tokens += moved
+            else:  # recompute: rebuild paged KV from the recorded exit states
+                self.cache.add_sequence(slot.request_id)
+                for record in slot.result.records:
+                    kv = record.hidden.reshape(self.cache.n_kv_heads, self.cache.head_dim)
+                    self.cache.append(slot.request_id, kv, kv)
+                context = len(slot.request.prompt) + tokens
+                tick.add(Event.PREFILL_LAYER,
+                         calls=self.engine.model.n_layers,
+                         units=self.engine.model.n_layers * context)
+                slot.recomputes += 1
+            slot.resume_mode = None
+            self.running.append(slot)
+
+    def _admissible(self, request: Request) -> bool:
+        if self._live_count() >= self.policy.batch_capacity:
+            return False
+        if self.admission == "reserve":
+            need = self.policy.blocks_needed(request)
+            return self.reserved_blocks + need <= self.policy.n_blocks
+        return self.cache.allocator.free_blocks >= 1
+
+    def _admit(self, report: AsyncServingReport) -> List[AsyncSequence]:
+        admitted: List[AsyncSequence] = []
+        while self.waiting and self._admissible(self.waiting[0]):
+            request = self.waiting.pop(0)
+            state, result = self.engine.prefill(request.prompt, script=request.script)
+            scheduler = self.scheduler_factory()
+            scheduler.reset()
+            self.cache.add_sequence(request.request_id)
+            slot = AsyncSequence(
+                request=request, state=state, result=result, scheduler=scheduler,
+                admitted_step=self.step_count,
+                prefill_remaining=len(request.prompt),
+            )
+            if self.admission == "reserve":
+                slot.blocks_reserved = self.policy.blocks_needed(request)
+                self.reserved_blocks += slot.blocks_reserved
+            self.running.append(slot)
+            admitted.append(slot)
+        return admitted
+
+    def _prefill(self, tick: CostLedger) -> bool:
+        """Schedule prefill work for this tick; returns True when the prefill
+        monopolised the tick (unchunked mode) and decode must be skipped."""
+        prefilling = sorted((s for s in self.running if s.prefill_remaining > 0),
+                            key=AsyncSequence.service_key)
+        if not prefilling:
+            return False
+        n_layers = self.engine.model.n_layers
+        if self.chunk_prefill_tokens is None:
+            # Whole prompts run in one go and own the tick, stalling decode.
+            for slot in prefilling:
+                take = slot.prefill_remaining
+                tick.add(Event.PREFILL_LAYER, calls=n_layers, units=n_layers * take)
+                slot.prefill_remaining = 0
+            return True
+        budget = self.chunk_prefill_tokens
+        for slot in prefilling:
+            if budget == 0:
+                break
+            take = min(slot.prefill_remaining, budget)
+            tick.add(Event.PREFILL_LAYER, calls=n_layers, units=n_layers * take)
+            slot.prefill_remaining -= take
+            budget -= take
+        return False
+
+    def _preempt(self, slot: AsyncSequence, tick: CostLedger) -> None:
+        tokens = len(slot.result.tokens)
+        mode = self.preemption
+        if mode == "auto":
+            costs = self.latency.preempt_costs(
+                tokens, len(slot.request.prompt) + tokens)
+            mode = "swap" if costs["swap"] <= costs["recompute"] else "recompute"
+        if mode == "swap" and tokens > 0:
+            moved = self.cache.swap_out(slot.request_id)
+            tick.add(Event.KV_SWAP, calls=1, units=moved)
+            slot.swapped_tokens += moved
+            slot.swaps += 1
+            slot.resume_mode = "swap"
+        else:
+            # Nothing decoded yet degenerates to recompute (nothing to save).
+            self.cache.free_sequence(slot.request_id)
+            slot.resume_mode = "recompute"
+        slot.preemptions += 1
+        self.running.remove(slot)
+        self.preempted.append(slot)
+
+    def _ensure_decode_blocks(self, runnable: List[AsyncSequence], tick: CostLedger) -> None:
+        """Evict until the free pool covers every new block this tick's
+        decode will allocate.  Raises with a clear message when eviction is
+        disabled but required."""
+        while True:
+            need = sum(
+                1 for s in runnable
+                if self.cache.length(s.request_id) % self.cache.block_size == 0
+            )
+            if self.cache.allocator.free_blocks >= need:
+                return
+            if self.preemption == "never":
+                raise MemoryError(
+                    f"KV pool exhausted at step {self.step_count}: decode needs "
+                    f"{need} fresh blocks, {self.cache.allocator.free_blocks} free; "
+                    "enable preemption (swap/recompute/auto) or use "
+                    "admission='reserve'"
+                )
+            victims = sorted(runnable, key=AsyncSequence.victim_key)
+            if not victims:
+                raise MemoryError(
+                    f"KV pool exhausted at step {self.step_count} with no "
+                    "evictable sequence"
+                )
+            victim = victims[0]
+            self._preempt(victim, tick)
+            runnable.remove(victim)
+
+    def _decode(self, runnable: List[AsyncSequence], tick: CostLedger) -> List[int]:
+        depths: List[int] = []
+        dropped_layers = 0.0
+        for slot in runnable:
+            before = slot.result.ledger.snapshot()
+            record = self.engine.step(slot.state, slot.result,
+                                      scheduler=slot.scheduler, capture_hidden=True)
+            delta = slot.result.ledger.delta_since(before)
+            dropped_layers += delta.calls(Event.DECODER_LAYER)
+            delta.drop(Event.DECODER_LAYER)
+            tick.merge(delta)
+            depths.append(record.exit_layer + 1)
+            kv = record.hidden.reshape(self.cache.n_kv_heads, self.cache.head_dim)
+            self.cache.append(slot.request_id, kv, kv)
+        if depths:
+            batches = [sum(1 for d in depths if d > l) for l in range(max(depths))]
+            if sum(batches) != dropped_layers:
+                raise AssertionError(
+                    f"batched layer-tokens {sum(batches)} != per-sequence layer "
+                    f"calls {dropped_layers}"
+                )
+            tick.add(Event.BATCH_DECODER_LAYER, calls=len(batches), units=sum(batches))
+        return depths
+
+    def _retire(self, report: AsyncServingReport) -> List[AsyncSequence]:
+        finished = [s for s in self.running if s.decodable and s.done]
+        for slot in finished:
+            self.engine.finish(slot.state, slot.result)
+            self.cache.free_sequence(slot.request_id)
+            if self.admission == "reserve":
+                self.reserved_blocks -= slot.blocks_reserved
+            slot.finished_step = self.step_count
+            self.running.remove(slot)
+            report.results[slot.request_id] = slot.result
+        return finished
+
+    # -- the run loop --------------------------------------------------------
+    def run(self, trace: Sequence[Request]) -> AsyncServingReport:
+        """Serve an arrival trace to completion on the modelled clock."""
+        pending = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
+        report = AsyncServingReport()
+        self.waiting, self.running, self.preempted = [], [], []
+        self.reserved_blocks, self.step_count, self.now_s = 0, 0, 0.0
+        # Fresh pool every run: a previous run that died mid-flight (e.g. the
+        # preemption="never" MemoryError) must not leak blocks into this one.
+        self.cache = PagedKVCache(
+            n_blocks=self.cache.allocator.n_blocks, block_size=self.cache.block_size,
+            n_kv_heads=self.cache.n_kv_heads, head_dim=self.cache.head_dim,
+        )
+        prompt_tokens = 0
+
+        while pending or self.waiting or self.running or self.preempted:
+            if not (self.waiting or self.running or self.preempted):
+                self.now_s = max(self.now_s, pending[0].arrival_s)  # idle jump
+            tick = CostLedger()
+            self._absorb_arrivals(pending, report)
+            if not (self.waiting or self.running or self.preempted):
+                continue  # every arrival in this window was rejected
+            self._resume_preempted(tick)
+            admitted = self._admit(report)
+            prompt_tokens += sum(len(s.request.prompt) for s in admitted)
+            suppressed = self._prefill(tick)
+            depths: List[int] = []
+            if not suppressed:
+                runnable = [s for s in self.running if s.decodable and not s.done]
+                self._ensure_decode_blocks(runnable, tick)
+                depths = self._decode(runnable, tick)
+            report.batch_occupancy.append(len(depths))
+            report.peak_kv_blocks = max(report.peak_kv_blocks, self.cache.blocks_in_use())
+            report.peak_host_tokens = max(report.peak_host_tokens, self.cache.host_tokens())
+            finished = self._retire(report)
+
+            tick.steps = 1
+            dt = self.latency.price(tick).total_s
+            self.now_s += dt
+            report.tick_seconds.append(dt)
+            report.serving_ledger.merge(tick)
+            for slot in finished:
+                report.metrics[slot.request_id] = AsyncRequestMetrics(
+                    request_id=slot.request_id,
+                    arrival_s=slot.request.arrival_s,
+                    deadline_s=slot.request.deadline_s,
+                    admitted_step=slot.admitted_step,
+                    finished_step=slot.finished_step,
+                    finish_s=self.now_s,
+                    tokens=len(slot.result.tokens),
+                    prompt_tokens=len(slot.request.prompt),
+                    preemptions=slot.preemptions,
+                    swaps=slot.swaps,
+                    recomputes=slot.recomputes,
+                    swapped_tokens=slot.swapped_tokens,
+                )
+                report.preemptions += slot.preemptions
+                report.swaps += slot.swaps
+                report.recomputes += slot.recomputes
+            self.step_count += 1
+
+        report.n_steps = self.step_count
+        report.makespan_s = self.now_s
+        report.serving_ledger.steps = self.step_count
+        report.serving_ledger.prompt_tokens = prompt_tokens
+        for result in report.results.values():
+            report.sequential_ledger.merge(result.ledger)
+        report.sequential_time_s = self.latency.price(report.sequential_ledger).total_s
+        return report

@@ -31,7 +31,35 @@ from repro.serving.paged_kv import PagedKVCache
 from repro.serving.request import AdmissionPolicy, Request
 from repro.serving.scheduler import ContinuousBatchScheduler
 
-__all__ = ["RequestMetrics", "ServingReport", "ServingEngine"]
+__all__ = [
+    "RequestMetrics", "ServingReport", "ServingEngine",
+    "build_paged_cache", "default_scheduler_factory",
+]
+
+
+def build_paged_cache(
+    engine: SpecEEEngine, kv_blocks: int, block_size: int,
+    n_kv_heads: Optional[int] = None,
+) -> PagedKVCache:
+    """Paged cache sized so one KV entry covers the engine's hidden state."""
+    hidden = engine.model.hidden_dim
+    if n_kv_heads is None:
+        n_kv_heads = 4 if hidden % 4 == 0 else 1
+    if hidden % n_kv_heads != 0:
+        raise ValueError(f"n_kv_heads={n_kv_heads} must divide hidden_dim={hidden}")
+    return PagedKVCache(
+        n_blocks=kv_blocks, block_size=block_size,
+        n_kv_heads=n_kv_heads, head_dim=hidden // n_kv_heads,
+    )
+
+
+def default_scheduler_factory(engine: SpecEEEngine) -> Callable[[], Scheduler]:
+    """Fresh per-sequence predictor schedulers matching the engine config."""
+    cfg = engine.config
+    return lambda: make_scheduler(
+        cfg.scheduler, engine.model.n_layers,
+        window=cfg.context_window, vicinity=cfg.layer_vicinity,
+    )
 
 
 @dataclass
@@ -125,24 +153,12 @@ class ServingEngine:
         scheduler_factory: Optional[Callable[[], Scheduler]] = None,
     ):
         self.engine = engine
-        hidden = engine.model.hidden_dim
-        if n_kv_heads is None:
-            n_kv_heads = 4 if hidden % 4 == 0 else 1
-        if hidden % n_kv_heads != 0:
-            raise ValueError(f"n_kv_heads={n_kv_heads} must divide hidden_dim={hidden}")
-        self.cache = PagedKVCache(
-            n_blocks=kv_blocks, block_size=block_size,
-            n_kv_heads=n_kv_heads, head_dim=hidden // n_kv_heads,
-        )
+        self.cache = build_paged_cache(engine, kv_blocks, block_size, n_kv_heads)
         self.policy = AdmissionPolicy(
             n_blocks=kv_blocks, block_size=block_size, batch_capacity=batch_capacity,
         )
         if scheduler_factory is None:
-            cfg = engine.config
-            scheduler_factory = lambda: make_scheduler(
-                cfg.scheduler, engine.model.n_layers,
-                window=cfg.context_window, vicinity=cfg.layer_vicinity,
-            )
+            scheduler_factory = default_scheduler_factory(engine)
         self.scheduler_factory = scheduler_factory
 
     def run(self, requests: Sequence[Request]) -> ServingReport:

@@ -73,6 +73,8 @@ class PagedKVCache:
         self._v = np.zeros(shape)
         # seq_id -> (block_table, token_count)
         self._tables: Dict[int, Tuple[List[int], int]] = {}
+        # seq_id -> (k, v) contiguous copies parked in host memory (swap-out)
+        self._host: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     # -- sequence management ---------------------------------------------------
     def add_sequence(self, seq_id: int) -> None:
@@ -85,6 +87,7 @@ class PagedKVCache:
         for block in table:
             self.allocator.free(block)
         del self._tables[seq_id]
+        self._host.pop(seq_id, None)
 
     def _require(self, seq_id: int) -> Tuple[List[int], int]:
         if seq_id not in self._tables:
@@ -128,6 +131,52 @@ class PagedKVCache:
             vs.append(self._v[block, :take])
             remaining -= take
         return np.concatenate(ks), np.concatenate(vs)
+
+    # -- preemption: swap to/from a modelled host pool ---------------------------
+    def swap_out(self, seq_id: int) -> int:
+        """Evict a sequence's KV to host memory, freeing its device blocks.
+
+        The contiguous gather view is parked host-side so :meth:`swap_in` can
+        restore the cache bit-exactly; returns the number of tokens moved.
+        """
+        if seq_id in self._host:
+            raise ValueError(f"sequence {seq_id} is already swapped out")
+        table, count = self._require(seq_id)
+        k, v = self.gather(seq_id)
+        self._host[seq_id] = (k, v)
+        for block in table:
+            self.allocator.free(block)
+        del self._tables[seq_id]
+        return count
+
+    def swap_in(self, seq_id: int) -> int:
+        """Bring a swapped-out sequence back onto device blocks.
+
+        Raises ``MemoryError`` (leaving the host copy intact) if the free
+        pool cannot hold the sequence; returns the number of tokens moved.
+        """
+        if seq_id not in self._host:
+            raise KeyError(f"sequence {seq_id} is not swapped out")
+        k, v = self._host[seq_id]
+        count = k.shape[0]
+        needed = -(-count // self.block_size) if count else 0
+        if needed > self.allocator.free_blocks:
+            raise MemoryError(
+                f"swap-in of sequence {seq_id} needs {needed} blocks, "
+                f"only {self.allocator.free_blocks} free"
+            )
+        del self._host[seq_id]
+        self.add_sequence(seq_id)
+        for t in range(count):
+            self.append(seq_id, k[t], v[t])
+        return count
+
+    def is_swapped(self, seq_id: int) -> bool:
+        return seq_id in self._host
+
+    def host_tokens(self) -> int:
+        """Tokens currently parked in the modelled host pool."""
+        return sum(k.shape[0] for k, _ in self._host.values())
 
     # -- accounting ---------------------------------------------------------------
     def blocks_in_use(self) -> int:

@@ -19,12 +19,22 @@ __all__ = ["Request", "RequestQueue", "AdmissionPolicy"]
 
 @dataclass
 class Request:
-    """One generation job submitted to the serving engine."""
+    """One generation job submitted to the serving engine.
+
+    The trailing fields matter only to the async trace-driven server:
+    ``arrival_s`` is when the request becomes visible (modelled seconds),
+    ``slo_s`` an optional completion deadline relative to arrival, and
+    ``priority`` breaks preemption/admission ties (higher = more important;
+    the lowest-priority, latest-arrived running sequence is evicted first).
+    """
 
     request_id: int
     prompt: List[int]
     max_new_tokens: int
     script: Optional[List[int]] = None
+    arrival_s: float = 0.0
+    slo_s: Optional[float] = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         self.prompt = [int(t) for t in self.prompt]
@@ -34,6 +44,16 @@ class Request:
             raise ValueError("max_new_tokens must be >= 1")
         if self.script is not None:
             self.script = [int(t) for t in self.script]
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be >= 0")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("slo_s must be positive when set")
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        if self.slo_s is None:
+            return None
+        return self.arrival_s + self.slo_s
 
 
 class RequestQueue:
@@ -96,17 +116,27 @@ class AdmissionPolicy:
     def blocks_needed(self, request: Request) -> int:
         return -(-request.max_new_tokens // self.block_size)
 
+    def oversize_reason(self, request: Request) -> Optional[str]:
+        """Why ``request`` could never fit even in an empty pool, or None.
+        The single source of truth for oversize rejection — submit-time
+        errors, admission errors and async rejections all phrase it from
+        this."""
+        need = self.blocks_needed(request)
+        if need <= self.n_blocks:
+            return None
+        return (
+            f"needs {need} KV blocks ({request.max_new_tokens} tokens @ "
+            f"block_size={self.block_size}) but the pool only has {self.n_blocks}"
+        )
+
     def admissible(self, request: Request, reserved_blocks: int, running: int) -> bool:
         """Whether ``request`` may join a batch of ``running`` sequences that
         have ``reserved_blocks`` blocks spoken for.  Raises ``MemoryError``
         for a request that could never fit even in an empty pool."""
         need = self.blocks_needed(request)
-        if need > self.n_blocks:
-            raise MemoryError(
-                f"request {request.request_id} needs {need} KV blocks "
-                f"({request.max_new_tokens} tokens @ block_size="
-                f"{self.block_size}) but the pool only has {self.n_blocks}"
-            )
+        reason = self.oversize_reason(request)
+        if reason:
+            raise MemoryError(f"request {request.request_id} {reason}")
         if running >= self.batch_capacity:
             return False
         return reserved_blocks + need <= self.n_blocks

@@ -100,6 +100,16 @@ class ContinuousBatchScheduler:
 
     # -- submission ----------------------------------------------------------
     def submit(self, request: Request) -> None:
+        """Queue ``request``, rejecting up front one that could never run.
+
+        Without this check an oversized request used to sit at the head of
+        the queue forever (nothing to retire can ever free enough blocks), so
+        the error surfaces at the API edge instead of mid-run."""
+        reason = self.policy.oversize_reason(request)
+        if reason:
+            raise MemoryError(
+                f"request {request.request_id} can never be admitted: it {reason}"
+            )
         self.queue.submit(request)
 
     @property

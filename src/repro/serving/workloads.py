@@ -1,0 +1,176 @@
+"""Arrival-trace generation for the async serving engine.
+
+A trace is a list of :class:`~repro.serving.request.Request`\\ s with
+monotonically non-decreasing ``arrival_s`` timestamps (modelled seconds) and
+optional per-request SLOs.  Two generators cover the cloud scenarios the
+paper's Fig. 14/15 allude to:
+
+* :func:`poisson_trace` — memoryless arrivals at a target rate, the standard
+  open-loop serving workload (what vLLM/LayerSkip-style serving papers drive
+  their SLO plots with), and
+* :func:`bursty_trace` — arrivals clustered into bursts separated by idle
+  gaps, which stresses admission and preemption much harder than the same
+  mean rate spread evenly.
+
+Every request's deadline is ``slo_scale`` times an ideal-service estimate
+(full-depth decode at ``per_token_s`` plus a prefill term), so SLO attainment
+compares schedulers, not workload luck.  Generation is fully deterministic
+given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.corpus import generate_prompts
+from repro.serving.request import Request
+from repro.utils.rng import child_rng
+
+__all__ = ["ArrivalTrace", "poisson_trace", "bursty_trace"]
+
+
+@dataclass
+class ArrivalTrace:
+    """An ordered arrival schedule plus the knobs that produced it."""
+
+    requests: List[Request]
+    kind: str
+    seed: int
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arrivals = [r.arrival_s for r in self.requests]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ValueError("trace arrivals must be sorted by arrival_s")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    @property
+    def horizon_s(self) -> float:
+        """Timestamp of the last arrival."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_s
+
+    @property
+    def offered_tokens(self) -> int:
+        return sum(r.max_new_tokens for r in self.requests)
+
+    def offered_rate(self) -> float:
+        """Achieved mean arrival rate (requests per modelled second)."""
+        if len(self.requests) < 2 or self.horizon_s <= 0:
+            return float("nan")
+        return (len(self.requests) - 1) / self.horizon_s
+
+
+def _build_requests(
+    kind: str,
+    arrivals: Sequence[float],
+    vocab_size: int,
+    prompt_len_range: Tuple[int, int],
+    max_new_tokens_range: Tuple[int, int],
+    slo_scale: Optional[float],
+    per_token_s: float,
+    priority_levels: int,
+    seed: int,
+    params: dict,
+) -> ArrivalTrace:
+    lo, hi = max_new_tokens_range
+    if lo < 1 or hi < lo:
+        raise ValueError(f"bad max_new_tokens_range {max_new_tokens_range}")
+    if priority_levels < 1:
+        raise ValueError("priority_levels must be >= 1")
+    if per_token_s <= 0:
+        raise ValueError("per_token_s must be positive")
+    n = len(arrivals)
+    prompts = generate_prompts(n, vocab_size, length_range=prompt_len_range,
+                               seed=seed)
+    rng = child_rng(seed, "workload", kind)
+    budgets = rng.integers(lo, hi + 1, size=n)
+    priorities = rng.integers(0, priority_levels, size=n)
+    requests = []
+    for i, arrival in enumerate(arrivals):
+        budget = int(budgets[i])
+        slo = None
+        if slo_scale is not None:
+            # Ideal service: full-depth decode plus a light prefill term
+            # (prefill is compute-bound, ~an order cheaper per token).
+            slo = slo_scale * per_token_s * (budget + 0.1 * len(prompts[i]))
+        requests.append(Request(
+            request_id=i, prompt=prompts[i], max_new_tokens=budget,
+            arrival_s=float(arrival), slo_s=slo, priority=int(priorities[i]),
+        ))
+    return ArrivalTrace(requests=requests, kind=kind, seed=seed, params=params)
+
+
+def poisson_trace(
+    n_requests: int,
+    rate_per_s: float,
+    vocab_size: int,
+    *,
+    prompt_len_range: Tuple[int, int] = (4, 16),
+    max_new_tokens_range: Tuple[int, int] = (16, 48),
+    slo_scale: Optional[float] = 3.0,
+    per_token_s: float = 0.006,
+    priority_levels: int = 1,
+    seed: int = 0,
+) -> ArrivalTrace:
+    """Open-loop Poisson arrivals at ``rate_per_s`` requests per second."""
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    rng = child_rng(seed, "workload", "poisson-arrivals")
+    gaps = rng.exponential(1.0 / rate_per_s, size=n_requests)
+    gaps[0] = 0.0  # first request arrives at t=0: the server never idles first
+    arrivals = np.cumsum(gaps)
+    return _build_requests(
+        "poisson", arrivals.tolist(), vocab_size, prompt_len_range,
+        max_new_tokens_range, slo_scale, per_token_s, priority_levels, seed,
+        params={"rate_per_s": rate_per_s},
+    )
+
+
+def bursty_trace(
+    n_requests: int,
+    burst_size: int,
+    burst_gap_s: float,
+    vocab_size: int,
+    *,
+    jitter_s: float = 0.0,
+    prompt_len_range: Tuple[int, int] = (4, 16),
+    max_new_tokens_range: Tuple[int, int] = (16, 48),
+    slo_scale: Optional[float] = 3.0,
+    per_token_s: float = 0.006,
+    priority_levels: int = 1,
+    seed: int = 0,
+) -> ArrivalTrace:
+    """Bursts of ``burst_size`` near-simultaneous arrivals every
+    ``burst_gap_s`` seconds — same offered load as Poisson at the matching
+    mean rate, far spikier contention."""
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    if burst_gap_s <= 0:
+        raise ValueError("burst_gap_s must be positive")
+    if jitter_s < 0:
+        raise ValueError("jitter_s must be >= 0")
+    rng = child_rng(seed, "workload", "bursty-arrivals")
+    arrivals = []
+    for i in range(n_requests):
+        base = (i // burst_size) * burst_gap_s
+        arrivals.append(base + (rng.uniform(0.0, jitter_s) if jitter_s else 0.0))
+    arrivals.sort()
+    return _build_requests(
+        "bursty", arrivals, vocab_size, prompt_len_range,
+        max_new_tokens_range, slo_scale, per_token_s, priority_levels, seed,
+        params={"burst_size": burst_size, "burst_gap_s": burst_gap_s},
+    )
