@@ -26,6 +26,11 @@ GATES = {
         "speculative.throughput_tps",
         "speculative.slo_attainment",
     ],
+    "BENCH_sharded_scaling.json": [
+        "gates.decode_tp2_tps",
+        "gates.prefill_tp2_tps",
+        "gates.tp2_over_tp1",
+    ],
 }
 
 

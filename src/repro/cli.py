@@ -17,6 +17,7 @@ import time
 from typing import IO, List, Optional
 
 from repro.config import MODELS, get_model_spec
+from repro.distributed.cluster import LINKS, make_cluster
 from repro.experiments import REGISTRY
 from repro.hardware.devices import DEVICES
 from repro.utils.tables import render_table
@@ -74,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["auto", "swap", "recompute", "never"])
     serve.add_argument("--chunk-prefill", type=int, default=32,
                        help="prefill tokens per tick (0 = unchunked, monopolising)")
+    # Multi-device sharding (modelled cluster; 1/1 = single device).
+    serve.add_argument("--tp", type=int, default=1,
+                       help="tensor-parallel degree (devices per layer shard)")
+    serve.add_argument("--pp", type=int, default=1,
+                       help="pipeline-parallel degree (stages of contiguous layers)")
+    serve.add_argument("--tp-link", default="nvlink", choices=sorted(LINKS),
+                       help="interconnect inside a tensor-parallel group")
+    serve.add_argument("--pp-link", default="pcie4", choices=sorted(LINKS),
+                       help="interconnect between pipeline stages")
     return parser
 
 
@@ -124,6 +134,16 @@ def _cmd_info(name: str, out: IO[str]) -> int:
     return 2
 
 
+def _cluster_from_args(args):
+    """The ``ClusterSpec`` the serve flags describe, or None for one device."""
+    if args.tp < 1 or args.pp < 1:
+        raise ValueError(f"--tp/--pp must be >= 1, got tp={args.tp} pp={args.pp}")
+    if args.tp * args.pp == 1:
+        return None
+    return make_cluster(args.device, tp=args.tp, pp=args.pp,
+                        tp_link=args.tp_link, pp_link=args.pp_link)
+
+
 def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
     """Async trace-driven serving: arrivals, SLOs, preemption, chunking."""
     from repro.serving import bursty_trace, poisson_trace
@@ -136,6 +156,7 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
             kv_blocks=args.kv_blocks, block_size=args.block_size,
             admission=args.admission, preemption=args.preemption,
             chunk_prefill_tokens=args.chunk_prefill or None,
+            cluster=_cluster_from_args(args),
         )
         # Deadlines scale from the same latency model that prices the run.
         trace_kwargs = dict(
@@ -174,7 +195,8 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
         ["peak host-pool tokens", report.peak_host_tokens],
     ]
     title = (f"async serving: {args.model} @ {args.device}/{args.framework}, "
-             f"{args.trace} trace, {args.admission} admission, "
+             f"tp={args.tp} pp={args.pp}, {args.trace} trace, "
+             f"{args.admission} admission, "
              f"{args.preemption} preemption, chunk={args.chunk_prefill}")
     print(render_table(["metric", "value"], rows, title=title), file=out)
     print(f"[serve completed in {elapsed:.1f}s]", file=out)
@@ -195,6 +217,7 @@ def _cmd_serve(args, out: IO[str]) -> int:
         serving = rig.serving_engine(
             scheduler_kind=args.scheduler, batch_capacity=args.batch_capacity,
             kv_blocks=args.kv_blocks, block_size=args.block_size,
+            cluster=_cluster_from_args(args),
         )
         prompts = generate_prompts(args.requests, rig.model.vocab_size, seed=args.seed + 7)
         requests = [Request(i, prompt, args.max_new_tokens)
@@ -219,7 +242,8 @@ def _cmd_serve(args, out: IO[str]) -> int:
         ["throughput speedup", f"{priced['speedup']:.2f}x"],
     ]
     title = (f"continuous batching: {args.model} @ {args.device}/{args.framework}, "
-             f"{args.scheduler} scheduler, capacity {args.batch_capacity}")
+             f"tp={args.tp} pp={args.pp}, {args.scheduler} scheduler, "
+             f"capacity {args.batch_capacity}")
     print(render_table(["metric", "value"], rows, title=title), file=out)
     print(f"[serve completed in {elapsed:.1f}s]", file=out)
     return 0

@@ -1,0 +1,43 @@
+"""Multi-device sharded serving: cluster topology, pricing, KV ownership.
+
+``repro.distributed`` grows the single-``DeviceSpec`` roofline/ledger model
+into a cluster model.  :class:`ClusterSpec` describes ``tp x pp`` devices
+and their interconnect links; :class:`ClusterLatencyModel` prices sharded
+ledgers (tensor-parallel layer shards plus ``ALLREDUCE`` collectives,
+pipeline-stage concurrency plus ``PIPELINE_BUBBLE`` idleness);
+:mod:`~repro.distributed.sharding` rewrites serving-tick events into their
+sharded form; :class:`ShardedPagedKV` owns paged-KV blocks per pipeline
+stage.  Sharded decoding is token-identical to single-device decoding —
+sharding repartitions cost, never tokens.
+"""
+
+from repro.distributed.cluster import (
+    LINKS,
+    ClusterSpec,
+    LinkSpec,
+    get_link,
+    make_cluster,
+)
+from repro.distributed.latency import PIPELINED_EVENTS, ClusterLatencyModel
+from repro.distributed.paged import ShardedPagedKV
+from repro.distributed.sharding import (
+    record_decode_batches,
+    record_prefill_allreduce,
+    record_tick_bubble,
+    shard_serving_ledger,
+)
+
+__all__ = [
+    "LINKS",
+    "PIPELINED_EVENTS",
+    "ClusterLatencyModel",
+    "ClusterSpec",
+    "LinkSpec",
+    "ShardedPagedKV",
+    "get_link",
+    "make_cluster",
+    "record_decode_batches",
+    "record_prefill_allreduce",
+    "record_tick_bubble",
+    "shard_serving_ledger",
+]

@@ -1,0 +1,164 @@
+"""Cluster roofline pricing: tensor-parallel shards, collectives, bubbles.
+
+:class:`ClusterLatencyModel` extends the single-device
+:class:`~repro.hardware.latency.LatencyModel` to a :class:`ClusterSpec`:
+
+* **Tensor parallelism** — each decoder/prefill layer's weight traffic and
+  FLOPs are divided ``tp`` ways (Megatron-style column/row sharding), so the
+  overridden :meth:`decoder_layer_time` / :meth:`prefill_layer_time` price
+  the *per-shard* layer.  The synchronisation this implies is not free: the
+  engines emit two ``ALLREDUCE`` events per sharded layer execution, priced
+  here as a ring all-reduce over the ``tp_link``.
+* **Pipeline parallelism** — layers are distributed over ``pp`` stages that
+  work concurrently in steady state, so the summed layer-event time divides
+  by ``pp``; the fill/drain idleness that concurrency costs is priced
+  explicitly from the ``PIPELINE_BUBBLE`` events the engines emit (idle
+  stage-slots whose units carry the micro-batch size).
+* **Preemption** — a sequence's paged KV is owned per-stage, so swap traffic
+  moves ``1/pp`` of the bytes per owning device concurrently, and recompute
+  re-runs a prefill that itself pipelines over the stages.
+
+Everything else (LM head, predictor, draft, retrieval) stays replicated on a
+single device — those paths are host-loop-bound trinkets next to the layer
+stack, and sharding them would only add collectives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import ModelSpec
+from repro.distributed.cluster import ClusterSpec
+from repro.hardware.devices import DeviceSpec
+from repro.hardware.frameworks import FrameworkProfile
+from repro.hardware.latency import LatencyBreakdown, LatencyModel
+from repro.hardware.ledger import CostLedger, Event
+
+__all__ = ["ClusterLatencyModel", "PIPELINED_EVENTS"]
+
+# Layer-stack events that pipeline-parallel stages execute concurrently; the
+# cluster price divides their summed time by pp (bubbles are separate).
+PIPELINED_EVENTS = (
+    Event.PREFILL_LAYER, Event.DECODER_LAYER, Event.BATCH_DECODER_LAYER,
+    Event.TREE_VERIFY_LAYER,
+)
+
+
+class ClusterLatencyModel(LatencyModel):
+    """Prices cost ledgers for (model, cluster, framework)."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        cluster: ClusterSpec,
+        framework: FrameworkProfile | str,
+        cpu_device: DeviceSpec | str | None = None,
+    ):
+        """Build the model; the cluster's representative device is the roofline.
+
+        Fails fast when the pipeline has more stages than the model has
+        decoder layers — a stage with no layers would otherwise keep
+        inflating the modelled stage concurrency.
+        """
+        super().__init__(model, cluster.device, framework, cpu_device=cpu_device)
+        cluster.stage_layers(model.n_layers)  # raises if pp > n_layers
+        self.cluster = cluster
+
+    # -- sharded primitives ---------------------------------------------------
+    def decoder_layer_time(self, batch: float = 1.0) -> float:
+        """One tensor-parallel *shard* of a decoder layer over ``batch`` tokens.
+
+        Weight traffic and FLOPs divide ``tp``; dispatch overhead does not
+        (every shard launches its own kernels).  With ``tp == 1`` this is
+        exactly the single-device layer time.
+        """
+        tp = self.cluster.tp
+        if tp == 1:
+            return super().decoder_layer_time(batch)
+        fw, dev = self.framework, self.device
+        gpu_bytes = self.layer_weight_bytes() * fw.gpu_weight_fraction / tp
+        mem_t = gpu_bytes / (dev.bytes_per_second * fw.bw_efficiency)
+        if self.cpu is not None and fw.gpu_weight_fraction < 1.0:
+            cpu_bytes = self.layer_weight_bytes() * (1.0 - fw.gpu_weight_fraction) / tp
+            mem_t += cpu_bytes / (self.cpu.bytes_per_second * fw.cpu_bw_efficiency)
+        flop_t = self.layer_flops(batch) / tp / (dev.flops_per_second * fw.flop_efficiency)
+        extra = (batch - 1.0) * fw.batch_flop_share * mem_t
+        return max(mem_t + extra, flop_t) + fw.layer_overhead_us * 1e-6
+
+    def prefill_layer_time(self, tokens: float) -> float:
+        """One tensor-parallel shard of a prefill layer over ``tokens``."""
+        tp = self.cluster.tp
+        if tp == 1:
+            return super().prefill_layer_time(tokens)
+        fw, dev = self.framework, self.device
+        flop_t = self.layer_flops(tokens) / tp / (dev.flops_per_second * fw.flop_efficiency)
+        mem_t = self.layer_weight_bytes() / tp / (dev.bytes_per_second * fw.bw_efficiency)
+        return max(flop_t, mem_t) + fw.layer_overhead_us * 1e-6
+
+    # -- collective and bubble pricing ---------------------------------------
+    def allreduce_time(self, tokens: float) -> float:
+        """Ring all-reduce of a ``tokens x hidden_dim`` fp16 activation over
+        the TP group: ``2(tp-1)/tp`` of the payload crosses the ``tp_link``,
+        plus ``2(tp-1)`` hop latencies (reduce-scatter then all-gather)."""
+        tp = self.cluster.tp
+        if tp == 1:
+            return 0.0
+        link = self.cluster.tp_link
+        payload = tokens * self.model.hidden_dim * 2.0  # fp16 activations
+        wire = 2.0 * (tp - 1) / tp * payload / link.bytes_per_second
+        hops = 2.0 * (tp - 1) * link.latency_us * 1e-6
+        return wire + hops
+
+    def bubble_slot_time(self, micro_batch_tokens: float) -> float:
+        """One idle pipeline layer-slot: the sharded layer time a waiting
+        stage fails to overlap, plus the micro-batch hand-off across the
+        ``pp_link`` (activation payload + one hop latency)."""
+        link = self.cluster.pp_link
+        handoff = (micro_batch_tokens * self.model.hidden_dim * 2.0
+                   / link.bytes_per_second + link.latency_us * 1e-6)
+        return self.decoder_layer_time(micro_batch_tokens) + handoff
+
+    # -- preemption re-pricing ------------------------------------------------
+    def kv_swap_time(self, tokens: float) -> float:
+        """Per-stage-owned swap: each of the ``pp`` stage devices moves its
+        own ``1/pp`` share of the cache concurrently over its host link."""
+        return super().kv_swap_time(tokens / self.cluster.pp)
+
+    def preempt_costs(self, tokens: float, context_tokens: float) -> Dict[str, float]:
+        """Swap-vs-recompute costs with per-stage KV and pipelined prefill."""
+        recompute = (self.model.n_layers
+                     * self.prefill_layer_time(max(context_tokens, 1.0))
+                     / self.cluster.pp)
+        return {"swap": 2.0 * self.kv_swap_time(tokens), "recompute": recompute}
+
+    # -- ledger pricing --------------------------------------------------------
+    def price(self, ledger: CostLedger) -> LatencyBreakdown:
+        """Price ``ledger`` on the cluster.
+
+        The inherited event pricing already uses the tp-sharded primitives;
+        on top of that the summed layer-stack time divides by ``pp`` (stages
+        overlap in steady state) and the cluster-only events are added:
+        ``ALLREDUCE`` calls at :meth:`allreduce_time` of their average token
+        payload, ``PIPELINE_BUBBLE`` slots at :meth:`bubble_slot_time` of
+        their average micro-batch.
+        """
+        breakdown = self._price_common(ledger)
+        per = dict(breakdown.per_event_s)
+        pp = self.cluster.pp
+        if pp > 1:
+            for kind in PIPELINED_EVENTS:
+                if kind in per:
+                    per[kind] /= pp
+        if ledger.calls(Event.ALLREDUCE):
+            avg_tokens = ledger.units(Event.ALLREDUCE) / ledger.calls(Event.ALLREDUCE)
+            per[Event.ALLREDUCE] = (
+                ledger.calls(Event.ALLREDUCE) * self.allreduce_time(avg_tokens))
+        if ledger.calls(Event.PIPELINE_BUBBLE):
+            avg_mb = (ledger.units(Event.PIPELINE_BUBBLE)
+                      / ledger.calls(Event.PIPELINE_BUBBLE))
+            per[Event.PIPELINE_BUBBLE] = (
+                ledger.calls(Event.PIPELINE_BUBBLE) * self.bubble_slot_time(avg_mb))
+        total = sum(per.values()) + self._host_overhead_s(ledger)
+        return LatencyBreakdown(
+            total_s=total, per_event_s=per, tokens_generated=ledger.tokens_generated
+        )

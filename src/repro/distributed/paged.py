@@ -1,0 +1,143 @@
+"""Per-stage paged KV ownership for pipeline-parallel serving.
+
+Under pipeline parallelism each stage holds the KV cache for its own layer
+range on its own device memory.  :class:`ShardedPagedKV` therefore keeps one
+:class:`~repro.serving.paged_kv.PagedKVCache` pool *per stage* and mirrors
+every sequence operation across them — an append lands one entry in every
+stage's pool (each stage's share of that token's cache), an eviction frees
+blocks on every stage, a swap parks every stage's share host-side.
+
+Because the stages see identical append/free traffic they stay in lockstep:
+each stage's allocator holds the same block count for the same sequences,
+which is what makes the facade's aggregate accounting (``free_blocks`` =
+the tightest stage, ``blocks_in_use`` = per-device blocks) exact rather than
+approximate.  The serving engines drive this class through the same surface
+as a single :class:`PagedKVCache`, so sharded and single-device runs make
+identical admission/preemption decisions — one half of the token-identity
+guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.serving.paged_kv import PagedKVCache
+
+__all__ = ["ShardedPagedKV"]
+
+
+class _MinAllocatorView:
+    """Read-only allocator facade: the tightest stage bounds admission."""
+
+    def __init__(self, stages: List[PagedKVCache]):
+        """Wrap the per-stage allocators."""
+        self._stages = stages
+
+    @property
+    def n_blocks(self) -> int:
+        """Per-stage (= per-device) pool size."""
+        return self._stages[0].allocator.n_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        """Free blocks on the most constrained stage."""
+        return min(s.allocator.free_blocks for s in self._stages)
+
+
+class ShardedPagedKV:
+    """``n_stages`` per-stage paged pools behind one cache facade."""
+
+    def __init__(
+        self, n_stages: int, n_blocks: int, block_size: int,
+        n_kv_heads: int, head_dim: int,
+    ):
+        """Create ``n_stages`` pools of ``n_blocks`` blocks each."""
+        if n_stages < 1:
+            raise ValueError("n_stages must be >= 1")
+        self.n_stages = n_stages
+        self.stages: List[PagedKVCache] = [
+            PagedKVCache(n_blocks=n_blocks, block_size=block_size,
+                         n_kv_heads=n_kv_heads, head_dim=head_dim)
+            for _ in range(n_stages)
+        ]
+        self.block_size = block_size
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.allocator = _MinAllocatorView(self.stages)
+
+    # -- sequence management ---------------------------------------------------
+    def add_sequence(self, seq_id: int) -> None:
+        """Register ``seq_id`` on every stage."""
+        for stage in self.stages:
+            stage.add_sequence(seq_id)
+
+    def free_sequence(self, seq_id: int) -> None:
+        """Free ``seq_id``'s blocks on every stage."""
+        for stage in self.stages:
+            stage.free_sequence(seq_id)
+
+    def length(self, seq_id: int) -> int:
+        """Token count of ``seq_id`` (identical on every stage)."""
+        return self.stages[0].length(seq_id)
+
+    def block_table(self, seq_id: int) -> List[int]:
+        """Stage-0 block table (stages allocate in lockstep)."""
+        return self.stages[0].block_table(seq_id)
+
+    # -- KV I/O ---------------------------------------------------------------
+    def append(self, seq_id: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append one token's KV share to every owning stage."""
+        for stage in self.stages:
+            stage.append(seq_id, k, v)
+
+    def gather(self, seq_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Stage-0 contiguous view (every stage's share is bit-identical)."""
+        return self.stages[0].gather(seq_id)
+
+    # -- preemption -----------------------------------------------------------
+    def swap_out(self, seq_id: int) -> int:
+        """Park every stage's share host-side; returns tokens moved (logical,
+        not multiplied by stage count — the swap is concurrent per device)."""
+        counts = {stage.swap_out(seq_id) for stage in self.stages}
+        if len(counts) != 1:
+            raise AssertionError(f"stages diverged on swap_out({seq_id}): {counts}")
+        return counts.pop()
+
+    def swap_in(self, seq_id: int) -> int:
+        """Restore every stage's share from the host pool.
+
+        Capacity is checked across all stages *before* any mutation (using
+        the pool's own :meth:`PagedKVCache.swap_in_blocks_needed`) so a
+        failed swap-in leaves every host copy intact — stages mutate all or
+        none, preserving lockstep.
+        """
+        for stage in self.stages:
+            needed = stage.swap_in_blocks_needed(seq_id)  # KeyError if absent
+            if needed > stage.allocator.free_blocks:
+                raise MemoryError(
+                    f"swap-in of sequence {seq_id} needs {needed} blocks per "
+                    f"stage, a stage has only {stage.allocator.free_blocks} free"
+                )
+        counts = {stage.swap_in(seq_id) for stage in self.stages}
+        if len(counts) != 1:
+            raise AssertionError(f"stages diverged on swap_in({seq_id}): {counts}")
+        return counts.pop()
+
+    def is_swapped(self, seq_id: int) -> bool:
+        """Whether ``seq_id`` currently lives in the host pool."""
+        return self.stages[0].is_swapped(seq_id)
+
+    def host_tokens(self) -> int:
+        """Logical tokens parked host-side (per-stage copies count once)."""
+        return self.stages[0].host_tokens()
+
+    # -- accounting ---------------------------------------------------------------
+    def blocks_in_use(self) -> int:
+        """Blocks allocated per device (stages are in lockstep)."""
+        return self.stages[0].blocks_in_use()
+
+    def utilization(self) -> float:
+        """Fraction of allocated slots holding tokens (per-stage)."""
+        return self.stages[0].utilization()

@@ -31,6 +31,15 @@ class DeviceSpec:
     def __post_init__(self) -> None:
         if self.fp16_tflops <= 0 or self.mem_bw_gbps <= 0 or self.pcie_gbps <= 0:
             raise ValueError("throughput parameters must be positive")
+        if self.kernel_overhead_us < 0:
+            raise ValueError("kernel_overhead_us must be non-negative")
+        if self.tdp_w < 0 or self.idle_w < 0 or self.vram_gb < 0:
+            raise ValueError("tdp_w/idle_w/vram_gb must be non-negative")
+        if self.idle_w > self.tdp_w:
+            raise ValueError(
+                f"idle_w={self.idle_w} exceeds tdp_w={self.tdp_w}; the energy "
+                "model needs non-negative dynamic headroom"
+            )
         if self.kind not in {"gpu", "cpu"}:
             raise ValueError(f"unknown device kind {self.kind!r}")
 

@@ -36,6 +36,8 @@ EVENT_INTENSITY: Dict[str, float] = {
     Event.KV_FILL: 0.12,
     Event.KV_SWAP: 0.08,             # DMA over the host link, cores idle
     Event.TREE_FEATURE_GEMM: 0.30,
+    Event.ALLREDUCE: 0.22,           # link DMA plus reduction kernels
+    Event.PIPELINE_BUBBLE: 0.0,      # a stage waiting draws idle power only
 }
 _DEFAULT_INTENSITY = 0.35
 

@@ -190,6 +190,17 @@ class LatencyModel:
     # -- ledger pricing ---------------------------------------------------------
     def price(self, ledger: CostLedger) -> LatencyBreakdown:
         """Total latency of every event recorded in ``ledger``."""
+        for kind in Event.CLUSTER_ONLY:
+            if ledger.calls(kind):
+                raise ValueError(
+                    f"ledger contains cluster-only event {kind!r}; price it "
+                    "with repro.distributed.ClusterLatencyModel"
+                )
+        return self._price_common(ledger)
+
+    def _price_common(self, ledger: CostLedger) -> LatencyBreakdown:
+        """Price the single-device event kinds (shared with the cluster model,
+        whose overridden primitives already carry the tensor-parallel scaling)."""
         per: Dict[str, float] = {}
 
         def put(kind: str, seconds: float) -> None:
@@ -231,11 +242,14 @@ class LatencyModel:
             avg_tokens = units(e.TREE_FEATURE_GEMM) / calls(e.TREE_FEATURE_GEMM)
             put(e.TREE_FEATURE_GEMM,
                 calls(e.TREE_FEATURE_GEMM) * self.grouped_gemm_time(avg_tokens))
-        total = sum(per.values())
-        # Host-loop overhead accrues per decode step: once per token in
-        # autoregressive mode, once per verify iteration in tree mode.
-        steps = ledger.steps if ledger.steps else ledger.tokens_generated
-        total += steps * self.framework.token_overhead_us * 1e-6
+        total = sum(per.values()) + self._host_overhead_s(ledger)
         return LatencyBreakdown(
             total_s=total, per_event_s=per, tokens_generated=ledger.tokens_generated
         )
+
+    def _host_overhead_s(self, ledger: CostLedger) -> float:
+        """Host-loop overhead: accrues per decode step — once per token in
+        autoregressive mode, once per verify iteration in tree mode.  The
+        single definition both the single-device and cluster totals use."""
+        steps = ledger.steps if ledger.steps else ledger.tokens_generated
+        return steps * self.framework.token_overhead_us * 1e-6

@@ -31,6 +31,15 @@ decoding: the per-sequence model state and predictor scheduler survive
 preemption on the host (as they do in real servers — only device KV is
 evicted), swap-in restores cache contents bit-exactly, and recompute rebuilds
 them from the recorded exit hidden states.
+
+Passing a :class:`~repro.distributed.ClusterSpec` runs the same trace on a
+modelled ``tp x pp`` cluster: ticks are priced by
+:class:`~repro.distributed.ClusterLatencyModel` (tensor-parallel layer
+shards plus ``ALLREDUCE`` collectives, pipeline-stage concurrency plus
+``PIPELINE_BUBBLE`` idleness), paged-KV blocks are owned per stage, and
+preemption costs are re-priced per owning device.  The modelled clock moves
+differently, so admission/preemption *timing* may differ from the
+single-device run — but per-request tokens never do.
 """
 
 from __future__ import annotations
@@ -48,7 +57,6 @@ from repro.hardware.latency import LatencyModel
 from repro.hardware.ledger import CostLedger, Event
 from repro.model.base import LMState
 from repro.serving.engine import build_paged_cache, default_scheduler_factory
-from repro.serving.paged_kv import PagedKVCache
 from repro.serving.request import AdmissionPolicy, Request
 
 __all__ = [
@@ -80,14 +88,17 @@ class AsyncSequence:
 
     @property
     def request_id(self) -> int:
+        """The underlying request's id."""
         return self.request.request_id
 
     @property
     def done(self) -> bool:
+        """Whether the sequence has generated its full token budget."""
         return len(self.result.tokens) >= self.request.max_new_tokens
 
     @property
     def decodable(self) -> bool:
+        """Whether prefill has finished, i.e. decode ticks may run."""
         return self.prefill_remaining == 0
 
     def victim_key(self):
@@ -120,10 +131,12 @@ class AsyncRequestMetrics:
 
     @property
     def latency_s(self) -> float:
+        """End-to-end modelled latency from arrival to last token."""
         return self.finish_s - self.arrival_s
 
     @property
     def met_slo(self) -> Optional[bool]:
+        """Whether the request finished by its deadline (None = no SLO)."""
         if self.deadline_s is None:
             return None
         return self.finish_s <= self.deadline_s
@@ -152,22 +165,26 @@ class AsyncServingReport:
 
     @property
     def total_tokens(self) -> int:
+        """Tokens generated across every served request."""
         return sum(len(r.tokens) for r in self.results.values())
 
     @property
     def throughput_tps(self) -> float:
+        """Modelled serving throughput: total tokens over the makespan."""
         if self.makespan_s <= 0:
             return float("nan")
         return self.total_tokens / self.makespan_s
 
     @property
     def sequential_tps(self) -> float:
+        """Modelled one-request-at-a-time throughput on the same physics."""
         if not self.sequential_time_s or math.isnan(self.sequential_time_s):
             return float("nan")
         return self.sequential_ledger.tokens_generated / self.sequential_time_s
 
     @property
     def speedup(self) -> float:
+        """Serving throughput over sequential throughput."""
         seq = self.sequential_tps
         if math.isnan(seq) or seq <= 0:
             return float("nan")
@@ -190,17 +207,20 @@ class AsyncServingReport:
 
     @property
     def avg_batch_occupancy(self) -> float:
+        """Mean decoding sequences per tick."""
         if not self.batch_occupancy:
             return float("nan")
         return float(np.mean(self.batch_occupancy))
 
     @property
     def mean_latency_s(self) -> float:
+        """Mean end-to-end request latency on the modelled clock."""
         if not self.metrics:
             return float("nan")
         return float(np.mean([m.latency_s for m in self.metrics.values()]))
 
     def p95_latency_s(self) -> float:
+        """95th-percentile end-to-end request latency on the modelled clock."""
         if not self.metrics:
             return float("nan")
         return float(np.percentile([m.latency_s for m in self.metrics.values()], 95))
@@ -225,7 +245,15 @@ class AsyncServingEngine:
         admission: str = "optimistic",
         preemption: str = "auto",
         chunk_prefill_tokens: Optional[int] = 32,
+        cluster=None,
     ):
+        """Build the async server.
+
+        ``cluster`` (a :class:`~repro.distributed.ClusterSpec`) shards the
+        run: ticks are priced by the cluster model instead of the
+        single-``device`` roofline, and the paged cache becomes one pool per
+        pipeline stage (``kv_blocks`` blocks on each stage device).
+        """
         if admission not in ADMISSION_MODES:
             raise ValueError(f"admission must be one of {ADMISSION_MODES}")
         if preemption not in PREEMPTION_MODES:
@@ -235,8 +263,18 @@ class AsyncServingEngine:
         self.engine = engine
         if isinstance(model_spec, str):
             model_spec = get_model_spec(model_spec)
-        self.latency = LatencyModel(model_spec, device, framework, cpu_device=cpu_device)
-        self.cache = build_paged_cache(engine, kv_blocks, block_size, n_kv_heads)
+        self.cluster = cluster if cluster is not None and not cluster.is_single else None
+        if self.cluster is not None:
+            from repro.distributed.latency import ClusterLatencyModel
+
+            self.latency: LatencyModel = ClusterLatencyModel(
+                model_spec, self.cluster, framework, cpu_device=cpu_device)
+        else:
+            self.latency = LatencyModel(model_spec, device, framework,
+                                        cpu_device=cpu_device)
+        n_stages = self.cluster.pp if self.cluster is not None else 1
+        self.cache = build_paged_cache(engine, kv_blocks, block_size, n_kv_heads,
+                                       n_stages=n_stages)
         self.policy = AdmissionPolicy(
             n_blocks=kv_blocks, block_size=block_size, batch_capacity=batch_capacity,
         )
@@ -421,8 +459,32 @@ class AsyncServingEngine:
                     f"batched layer-tokens {sum(batches)} != per-sequence layer "
                     f"calls {dropped_layers}"
                 )
-            tick.add(Event.BATCH_DECODER_LAYER, calls=len(batches), units=sum(batches))
+            from repro.distributed.sharding import record_decode_batches
+
+            record_decode_batches(tick, batches, self.cluster)
         return depths
+
+    def _record_sharded_events(self, tick: CostLedger, depths: List[int]) -> None:
+        """Add one tick's cluster-only events (decode all-reduces are already
+        recorded by :meth:`_decode`): the tensor-parallel collectives for this
+        tick's prefill-layer work (chunks and recompute resumes alike) and the
+        pipeline fill/drain bubble sized by the tick's deepest executed layer
+        and average micro-batch."""
+        from repro.distributed.sharding import (
+            record_prefill_allreduce, record_tick_bubble,
+        )
+
+        record_prefill_allreduce(
+            tick, tick.calls(Event.PREFILL_LAYER), tick.units(Event.PREFILL_LAYER),
+            self.cluster,
+        )
+        deepest = max(depths) if depths else 0
+        if tick.calls(Event.PREFILL_LAYER):
+            deepest = self.engine.model.n_layers
+        layer_tokens = (tick.units(Event.PREFILL_LAYER)
+                        + tick.units(Event.BATCH_DECODER_LAYER))
+        record_tick_bubble(tick, deepest, layer_tokens, max(len(depths), 1),
+                           self.cluster)
 
     def _retire(self, report: AsyncServingReport) -> List[AsyncSequence]:
         finished = [s for s in self.running if s.decodable and s.done]
@@ -445,9 +507,10 @@ class AsyncServingEngine:
         self.reserved_blocks, self.step_count, self.now_s = 0, 0, 0.0
         # Fresh pool every run: a previous run that died mid-flight (e.g. the
         # preemption="never" MemoryError) must not leak blocks into this one.
-        self.cache = PagedKVCache(
-            n_blocks=self.cache.allocator.n_blocks, block_size=self.cache.block_size,
-            n_kv_heads=self.cache.n_kv_heads, head_dim=self.cache.head_dim,
+        self.cache = build_paged_cache(
+            self.engine, self.cache.allocator.n_blocks, self.cache.block_size,
+            self.cache.n_kv_heads,
+            n_stages=self.cluster.pp if self.cluster is not None else 1,
         )
         prompt_tokens = 0
 
@@ -472,6 +535,8 @@ class AsyncServingEngine:
             report.peak_host_tokens = max(report.peak_host_tokens, self.cache.host_tokens())
             finished = self._retire(report)
 
+            if self.cluster is not None:
+                self._record_sharded_events(tick, depths)
             tick.steps = 1
             dt = self.latency.price(tick).total_s
             self.now_s += dt

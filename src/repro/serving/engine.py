@@ -15,12 +15,21 @@ Pricing both through the roofline :class:`~repro.hardware.latency.LatencyModel`
 yields the modelled continuous-batching speedup; because single-stream decode
 is weight-bandwidth-bound, sharing the weight pass across the batch is where
 vLLM-style serving throughput comes from.
+
+Handing the engine a :class:`~repro.distributed.ClusterSpec` runs the same
+requests on a modelled ``tp x pp`` cluster: decode ticks are micro-batched
+and ledgered with ``ALLREDUCE``/``PIPELINE_BUBBLE`` events
+(:mod:`repro.distributed.sharding`), paged-KV blocks are owned per pipeline
+stage (:class:`~repro.distributed.ShardedPagedKV`), and
+:meth:`ServingReport.priced_speedup` prices the sharded ledger through
+:class:`~repro.distributed.ClusterLatencyModel`.  Sharding repartitions
+cost across devices — tokens are identical to the single-device run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -39,14 +48,26 @@ __all__ = [
 
 def build_paged_cache(
     engine: SpecEEEngine, kv_blocks: int, block_size: int,
-    n_kv_heads: Optional[int] = None,
-) -> PagedKVCache:
-    """Paged cache sized so one KV entry covers the engine's hidden state."""
+    n_kv_heads: Optional[int] = None, n_stages: int = 1,
+) -> Union[PagedKVCache, "ShardedPagedKV"]:
+    """Paged cache sized so one KV entry covers the engine's hidden state.
+
+    With ``n_stages > 1`` the cache is a per-pipeline-stage
+    :class:`~repro.distributed.ShardedPagedKV` of ``kv_blocks`` blocks *per
+    stage device*; otherwise a single-pool :class:`PagedKVCache`.
+    """
     hidden = engine.model.hidden_dim
     if n_kv_heads is None:
         n_kv_heads = 4 if hidden % 4 == 0 else 1
     if hidden % n_kv_heads != 0:
         raise ValueError(f"n_kv_heads={n_kv_heads} must divide hidden_dim={hidden}")
+    if n_stages > 1:
+        from repro.distributed.paged import ShardedPagedKV
+
+        return ShardedPagedKV(
+            n_stages=n_stages, n_blocks=kv_blocks, block_size=block_size,
+            n_kv_heads=n_kv_heads, head_dim=hidden // n_kv_heads,
+        )
     return PagedKVCache(
         n_blocks=kv_blocks, block_size=block_size,
         n_kv_heads=n_kv_heads, head_dim=hidden // n_kv_heads,
@@ -74,14 +95,17 @@ class RequestMetrics:
 
     @property
     def queue_wait_steps(self) -> int:
+        """Steps spent queued before admission."""
         return self.admitted_step - self.submitted_step
 
     @property
     def service_steps(self) -> int:
+        """Steps from admission to the final token (inclusive)."""
         return self.finished_step - self.admitted_step + 1
 
     @property
     def latency_steps(self) -> int:
+        """End-to-end steps from submission to the final token."""
         return self.finished_step - self.submitted_step + 1
 
 
@@ -96,41 +120,74 @@ class ServingReport:
     n_steps: int = 0
     batch_occupancy: List[int] = field(default_factory=list)
     peak_kv_blocks: int = 0
+    tick_layer_batches: List[List[int]] = field(default_factory=list)
+    cluster: Optional[object] = None  # ClusterSpec when the run was sharded
 
     @property
     def total_tokens(self) -> int:
+        """Tokens generated across every served request."""
         return sum(len(r.tokens) for r in self.results.values())
 
     @property
     def avg_batch_occupancy(self) -> float:
+        """Mean live sequences per scheduler tick."""
         if not self.batch_occupancy:
             return float("nan")
         return float(np.mean(self.batch_occupancy))
 
     @property
     def mean_queue_wait_steps(self) -> float:
+        """Mean steps a request waited in the queue before admission."""
         if not self.metrics:
             return float("nan")
         return float(np.mean([m.queue_wait_steps for m in self.metrics.values()]))
 
     @property
     def mean_latency_steps(self) -> float:
+        """Mean end-to-end request latency in scheduler steps."""
         if not self.metrics:
             return float("nan")
         return float(np.mean([m.latency_steps for m in self.metrics.values()]))
 
     def p95_latency_steps(self) -> float:
+        """95th-percentile end-to-end request latency in scheduler steps."""
         if not self.metrics:
             return float("nan")
         return float(np.percentile([m.latency_steps for m in self.metrics.values()], 95))
 
+    def sharded_ledger(self, cluster) -> CostLedger:
+        """Serving ledger re-cut for ``cluster`` from the recorded per-tick
+        layer batches — one run can therefore be priced on many candidate
+        cluster shapes (how the scaling benchmark sweeps TP x PP)."""
+        from repro.distributed.sharding import shard_serving_ledger
+
+        return shard_serving_ledger(
+            self.sequential_ledger, self.tick_layer_batches, self.n_steps, cluster,
+        )
+
     def priced_speedup(self, model_spec, device: str, framework: str,
-                       cpu_device: Optional[str] = None) -> Dict[str, float]:
-        """Modelled tokens/s of continuous batching vs sequential serving."""
+                       cpu_device: Optional[str] = None,
+                       cluster=None) -> Dict[str, float]:
+        """Modelled tokens/s of continuous batching vs sequential serving.
+
+        With ``cluster`` set, the serving side is re-sharded for that cluster
+        and priced by :class:`~repro.distributed.ClusterLatencyModel`; the
+        sequential side always prices single-device (``device``), so the
+        speedup reads as "this cluster vs one-at-a-time on one device".
+        """
         from repro.hardware.latency import LatencyModel
 
         latency = LatencyModel(model_spec, device, framework, cpu_device=cpu_device)
-        serving = latency.price(self.serving_ledger)
+        if cluster is None:
+            cluster = self.cluster
+        if cluster is not None and not cluster.is_single:
+            from repro.distributed.latency import ClusterLatencyModel
+
+            serving_model = ClusterLatencyModel(
+                model_spec, cluster, framework, cpu_device=cpu_device)
+            serving = serving_model.price(self.sharded_ledger(cluster))
+        else:
+            serving = latency.price(self.serving_ledger)
         sequential = latency.price(self.sequential_ledger)
         return {
             "serving_tps": serving.tokens_per_second,
@@ -151,9 +208,20 @@ class ServingEngine:
         block_size: int = 16,
         n_kv_heads: Optional[int] = None,
         scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+        cluster=None,
     ):
+        """Build the server; ``cluster`` (a ``ClusterSpec``) shards the run.
+
+        ``kv_blocks`` is per device: under pipeline parallelism each stage
+        owns its own pool of that size (:func:`build_paged_cache`).
+        """
         self.engine = engine
-        self.cache = build_paged_cache(engine, kv_blocks, block_size, n_kv_heads)
+        self.cluster = cluster if cluster is not None and not cluster.is_single else None
+        if self.cluster is not None:
+            self.cluster.stage_layers(engine.model.n_layers)  # pp <= n_layers
+        n_stages = self.cluster.pp if self.cluster is not None else 1
+        self.cache = build_paged_cache(engine, kv_blocks, block_size, n_kv_heads,
+                                       n_stages=n_stages)
         self.policy = AdmissionPolicy(
             n_blocks=kv_blocks, block_size=block_size, batch_capacity=batch_capacity,
         )
@@ -168,16 +236,12 @@ class ServingEngine:
         )
         for request in requests:
             scheduler.submit(request)
-        report = ServingReport()
-        batched_calls = 0.0
-        batched_units = 0.0
+        report = ServingReport(cluster=self.cluster)
         while scheduler.has_work:
             outcome = scheduler.tick()
             report.batch_occupancy.append(outcome.occupancy)
             report.peak_kv_blocks = max(report.peak_kv_blocks, outcome.kv_blocks_in_use)
-            for batch in outcome.layer_batches():
-                batched_calls += 1
-                batched_units += batch
+            report.tick_layer_batches.append(outcome.layer_batches())
             for slot in outcome.retired:
                 report.results[slot.request.request_id] = slot.result
                 report.metrics[slot.request.request_id] = RequestMetrics(
@@ -190,19 +254,24 @@ class ServingEngine:
         report.n_steps = scheduler.step_count
         for result in report.results.values():
             report.sequential_ledger.merge(result.ledger)
-        report.serving_ledger = _rebatch_ledger(
-            report.sequential_ledger, batched_calls, batched_units, report.n_steps,
-        )
+        if self.cluster is not None:
+            report.serving_ledger = report.sharded_ledger(self.cluster)
+        else:
+            report.serving_ledger = _rebatch_ledger(
+                report.sequential_ledger, report.tick_layer_batches, report.n_steps,
+            )
         return report
 
 
 def _rebatch_ledger(
-    merged: CostLedger, batched_calls: float, batched_units: float, n_steps: int
+    merged: CostLedger, tick_batches: Sequence[Sequence[int]], n_steps: int
 ) -> CostLedger:
     """Serving-side ledger: every per-sequence event except the decoder
     layers, which are replaced by their shared batched executions.  The
     batched token-layer count must equal the per-sequence layer-call count —
     batching shares weight traffic, it never skips work."""
+    batched_calls = sum(len(b) for b in tick_batches)
+    batched_units = sum(sum(b) for b in tick_batches)
     if batched_units != merged.calls(Event.DECODER_LAYER):
         raise AssertionError(
             f"batched layer-tokens {batched_units} != per-sequence layer calls "

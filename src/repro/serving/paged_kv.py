@@ -23,6 +23,7 @@ class BlockAllocator:
     """Free-list allocator over a fixed pool of physical blocks."""
 
     def __init__(self, n_blocks: int):
+        """Create a pool of ``n_blocks`` free physical blocks."""
         if n_blocks <= 0:
             raise ValueError("n_blocks must be positive")
         self.n_blocks = n_blocks
@@ -31,9 +32,11 @@ class BlockAllocator:
 
     @property
     def free_blocks(self) -> int:
+        """Number of currently unallocated blocks."""
         return len(self._free)
 
     def allocate(self) -> int:
+        """Hand out one free block; ``MemoryError`` when the pool is empty."""
         if not self._free:
             raise MemoryError("paged KV pool exhausted")
         block = self._free.pop()
@@ -41,6 +44,7 @@ class BlockAllocator:
         return block
 
     def free(self, block: int) -> None:
+        """Return ``block`` to the free list; double-frees are rejected."""
         if block not in self._allocated:
             raise ValueError(f"block {block} is not allocated")
         self._allocated.remove(block)
@@ -62,6 +66,7 @@ class PagedKVCache:
         n_kv_heads: int,
         head_dim: int,
     ):
+        """Allocate physical storage for ``n_blocks`` blocks of ``block_size``."""
         if block_size <= 0:
             raise ValueError("block_size must be positive")
         self.block_size = block_size
@@ -78,11 +83,13 @@ class PagedKVCache:
 
     # -- sequence management ---------------------------------------------------
     def add_sequence(self, seq_id: int) -> None:
+        """Register a new (empty) sequence; duplicate ids are rejected."""
         if seq_id in self._tables:
             raise ValueError(f"sequence {seq_id} already exists")
         self._tables[seq_id] = ([], 0)
 
     def free_sequence(self, seq_id: int) -> None:
+        """Free every block of ``seq_id`` and forget the sequence."""
         table, _ = self._require(seq_id)
         for block in table:
             self.allocator.free(block)
@@ -95,9 +102,11 @@ class PagedKVCache:
         return self._tables[seq_id]
 
     def length(self, seq_id: int) -> int:
+        """Token count currently stored for ``seq_id``."""
         return self._require(seq_id)[1]
 
     def block_table(self, seq_id: int) -> List[int]:
+        """Copy of ``seq_id``'s logical-to-physical block table."""
         return list(self._require(seq_id)[0])
 
     # -- KV I/O ---------------------------------------------------------------
@@ -149,29 +158,39 @@ class PagedKVCache:
         del self._tables[seq_id]
         return count
 
+    def host_length(self, seq_id: int) -> int:
+        """Tokens parked host-side for ``seq_id`` (``KeyError`` if not swapped)."""
+        if seq_id not in self._host:
+            raise KeyError(f"sequence {seq_id} is not swapped out")
+        return self._host[seq_id][0].shape[0]
+
+    def swap_in_blocks_needed(self, seq_id: int) -> int:
+        """Device blocks a :meth:`swap_in` of ``seq_id`` would allocate —
+        the one formula capacity prechecks (including the per-stage facade's
+        all-or-nothing check) must agree with."""
+        count = self.host_length(seq_id)
+        return -(-count // self.block_size) if count else 0
+
     def swap_in(self, seq_id: int) -> int:
         """Bring a swapped-out sequence back onto device blocks.
 
         Raises ``MemoryError`` (leaving the host copy intact) if the free
         pool cannot hold the sequence; returns the number of tokens moved.
         """
-        if seq_id not in self._host:
-            raise KeyError(f"sequence {seq_id} is not swapped out")
-        k, v = self._host[seq_id]
-        count = k.shape[0]
-        needed = -(-count // self.block_size) if count else 0
+        needed = self.swap_in_blocks_needed(seq_id)
         if needed > self.allocator.free_blocks:
             raise MemoryError(
                 f"swap-in of sequence {seq_id} needs {needed} blocks, "
                 f"only {self.allocator.free_blocks} free"
             )
-        del self._host[seq_id]
+        k, v = self._host.pop(seq_id)
         self.add_sequence(seq_id)
-        for t in range(count):
+        for t in range(k.shape[0]):
             self.append(seq_id, k[t], v[t])
-        return count
+        return k.shape[0]
 
     def is_swapped(self, seq_id: int) -> bool:
+        """Whether ``seq_id`` currently lives in the host pool."""
         return seq_id in self._host
 
     def host_tokens(self) -> int:
@@ -180,6 +199,7 @@ class PagedKVCache:
 
     # -- accounting ---------------------------------------------------------------
     def blocks_in_use(self) -> int:
+        """Physical blocks currently allocated to live sequences."""
         return sum(len(t) for t, _ in self._tables.values())
 
     def utilization(self) -> float:

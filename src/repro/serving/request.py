@@ -37,6 +37,7 @@ class Request:
     priority: int = 0
 
     def __post_init__(self) -> None:
+        """Normalise token lists and validate budgets/timestamps."""
         self.prompt = [int(t) for t in self.prompt]
         if not self.prompt:
             raise ValueError("request prompt must contain at least one token")
@@ -51,6 +52,7 @@ class Request:
 
     @property
     def deadline_s(self) -> Optional[float]:
+        """Absolute completion deadline, or None without an SLO."""
         if self.slo_s is None:
             return None
         return self.arrival_s + self.slo_s
@@ -60,23 +62,27 @@ class RequestQueue:
     """FIFO queue of pending requests with duplicate-id rejection."""
 
     def __init__(self, requests: Sequence[Request] = ()):
+        """Create the queue, optionally pre-submitting ``requests``."""
         self._queue: Deque[Request] = deque()
         self._ids: set[int] = set()
         for request in requests:
             self.submit(request)
 
     def submit(self, request: Request) -> None:
+        """Append ``request``; a duplicate id raises ``ValueError``."""
         if request.request_id in self._ids:
             raise ValueError(f"request id {request.request_id} already queued")
         self._ids.add(request.request_id)
         self._queue.append(request)
 
     def peek(self) -> Request:
+        """The head request without removing it."""
         if not self._queue:
             raise IndexError("peek on empty request queue")
         return self._queue[0]
 
     def pop(self) -> Request:
+        """Remove and return the head request."""
         if not self._queue:
             raise IndexError("pop on empty request queue")
         request = self._queue.popleft()
@@ -106,6 +112,7 @@ class AdmissionPolicy:
     batch_capacity: int
 
     def __post_init__(self) -> None:
+        """Validate pool geometry and batch capacity."""
         if self.n_blocks < 1:
             raise ValueError("n_blocks must be >= 1")
         if self.block_size < 1:
@@ -114,6 +121,7 @@ class AdmissionPolicy:
             raise ValueError("batch_capacity must be >= 1")
 
     def blocks_needed(self, request: Request) -> int:
+        """Worst-case paged-KV blocks ``request``'s decode can consume."""
         return -(-request.max_new_tokens // self.block_size)
 
     def oversize_reason(self, request: Request) -> Optional[str]:

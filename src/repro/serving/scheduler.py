@@ -47,6 +47,7 @@ class SequenceSlot:
 
     @property
     def done(self) -> bool:
+        """Whether the sequence has generated its full token budget."""
         return len(self.result.tokens) >= self.request.max_new_tokens
 
 
@@ -63,6 +64,7 @@ class TickOutcome:
 
     @property
     def occupancy(self) -> int:
+        """Sequences that decoded this tick."""
         return len(self.depths)
 
     def layer_batches(self) -> List[int]:
@@ -83,6 +85,7 @@ class ContinuousBatchScheduler:
         policy: AdmissionPolicy,
         scheduler_factory: Callable[[], Scheduler],
     ):
+        """Wire the scheduler to one engine, KV cache and admission policy."""
         self.engine = engine
         self.cache = cache
         self.policy = policy
@@ -114,6 +117,7 @@ class ContinuousBatchScheduler:
 
     @property
     def has_work(self) -> bool:
+        """Whether any request is still queued or running."""
         return bool(self.queue) or bool(self.running)
 
     # -- one global step -----------------------------------------------------

@@ -42,6 +42,7 @@ class ArrivalTrace:
     params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        """Reject traces whose arrivals are not sorted."""
         arrivals = [r.arrival_s for r in self.requests]
         if any(b < a for a, b in zip(arrivals, arrivals[1:])):
             raise ValueError("trace arrivals must be sorted by arrival_s")
@@ -61,6 +62,7 @@ class ArrivalTrace:
 
     @property
     def offered_tokens(self) -> int:
+        """Total decode-token budget the trace offers the server."""
         return sum(r.max_new_tokens for r in self.requests)
 
     def offered_rate(self) -> float:

@@ -56,3 +56,21 @@ class TestCommands:
         args = build_parser().parse_args(["serve"])
         assert args.batch_capacity == 8 and args.scheduler == "two_level"
         assert args.framework == "vllm"
+        assert args.tp == 1 and args.pp == 1
+        assert args.tp_link == "nvlink" and args.pp_link == "pcie4"
+
+    def test_serve_sharded(self, capsys):
+        assert main(["serve", "--requests", "4", "--max-new-tokens", "8",
+                     "--batch-capacity", "4", "--tp", "2", "--pp", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tp=2 pp=2" in out
+        assert "throughput speedup" in out
+
+    def test_serve_sharded_trace(self, capsys):
+        assert main(["serve", "--trace", "poisson", "--requests", "4",
+                     "--max-new-tokens", "8", "--batch-capacity", "4",
+                     "--kv-blocks", "16", "--block-size", "4",
+                     "--tp", "2", "--pp", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tp=2 pp=2" in out
+        assert "SLO attainment" in out

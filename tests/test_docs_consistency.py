@@ -1,11 +1,17 @@
 """Documentation consistency: DESIGN.md's experiment index, the experiments
-registry, and the benchmark files must stay in sync."""
+registry, the benchmark files, the ledger-event reference table, the CLI
+flag docs, and the public-docstring contract must stay in sync."""
 
+import argparse
+import ast
 import pathlib
+import re
 
 import pytest
 
+from repro.cli import build_parser
 from repro.experiments import REGISTRY
+from repro.hardware.ledger import Event
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
@@ -34,6 +40,112 @@ class TestDesignDoc:
                        "Fig. 18", "Fig. 19", "Table 1", "Table 4",
                        "Sec. 7.3.1", "Sec. 7.4"):
             assert anchor in text, f"EXPERIMENTS.md missing {anchor}"
+
+
+def _cli_subparsers():
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    raise AssertionError("CLI has no subcommands")
+
+
+def _option_strings(parser):
+    return {opt for action in parser._actions
+            for opt in action.option_strings if opt.startswith("--")}
+
+
+class TestLedgerEventTable:
+    def test_every_event_kind_documented_in_table(self):
+        """DESIGN.md's ledger-event reference must cover every Event kind."""
+        design = (REPO / "DESIGN.md").read_text()
+        table_rows = [line for line in design.splitlines()
+                      if line.startswith("|") and "`" in line]
+        for kind in Event.ALL:
+            assert any(f"`{kind}`" in row for row in table_rows), (
+                f"ledger event {kind!r} missing from DESIGN.md's "
+                "ledger-event reference table")
+
+    def test_table_names_only_real_events(self):
+        """First-column backticked snake_case names must be Event kinds."""
+        design = (REPO / "DESIGN.md").read_text()
+        section = design.split("## Ledger-event reference", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        for line in section.splitlines():
+            match = re.match(r"\|\s*`([a-z_]+)`\s*\|", line)
+            if match:
+                assert match.group(1) in Event.ALL, (
+                    f"table documents unknown event {match.group(1)!r}")
+
+
+class TestCliFlagDocs:
+    DOC_FILES = ("DESIGN.md", "README.md")
+
+    def documented_flags(self):
+        """Flags mentioned in repro CLI contexts across the docs."""
+        flags = set()
+        for name in self.DOC_FILES:
+            text = (REPO / name).read_text()
+            # Lines invoking the CLI, plus DESIGN.md's CLI-reference section.
+            lines = [l for l in text.splitlines() if "-m repro" in l or "repro serve" in l]
+            if "## CLI reference" in text:
+                section = text.split("## CLI reference", 1)[1].split("\n## ", 1)[0]
+                section = section.split("\n### ", 1)[0]
+                lines.extend(section.splitlines())
+            for line in lines:
+                flags.update(re.findall(r"--[a-z][a-z0-9-]*", line))
+        return flags
+
+    def test_documented_flags_exist_in_cli(self):
+        known = set()
+        for sub in _cli_subparsers().values():
+            known |= _option_strings(sub)
+        missing = self.documented_flags() - known
+        assert not missing, f"docs mention CLI flags that do not exist: {sorted(missing)}"
+
+    def test_every_serve_flag_is_documented(self):
+        serve_flags = _option_strings(_cli_subparsers()["serve"]) - {"--help"}
+        undocumented = serve_flags - self.documented_flags()
+        assert not undocumented, (
+            f"serve flags missing from DESIGN.md/README.md: {sorted(undocumented)}")
+
+
+class TestPublicDocstrings:
+    PACKAGES = ("src/repro/serving", "src/repro/distributed")
+
+    @staticmethod
+    def _missing_in(path):
+        tree = ast.parse(path.read_text())
+        missing = []
+        if ast.get_docstring(tree) is None:
+            missing.append(f"{path.name}: module")
+
+        def check_body(body, scope):
+            for node in body:
+                if isinstance(node, ast.ClassDef):
+                    if node.name.startswith("_"):
+                        continue
+                    if ast.get_docstring(node) is None:
+                        missing.append(f"{path.name}: class {node.name}")
+                    check_body(node.body, f"{node.name}.")
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    public = not node.name.startswith("_") or node.name in (
+                        "__init__", "__post_init__")
+                    if public and ast.get_docstring(node) is None:
+                        missing.append(f"{path.name}: def {scope}{node.name}")
+
+        check_body(tree.body, "")
+        return missing
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_public_api_has_docstrings(self, package):
+        """Module, public classes and public functions/methods (including
+        __init__/__post_init__) of the serving and distributed packages must
+        carry docstrings — the same contract the CI pydocstyle job enforces."""
+        missing = []
+        for path in sorted((REPO / package).glob("*.py")):
+            missing.extend(self._missing_in(path))
+        assert not missing, "missing docstrings:\n  " + "\n  ".join(missing)
 
 
 class TestExamplesExist:

@@ -68,6 +68,21 @@ class TestDevicesFrameworks:
         with pytest.raises(ValueError):
             get_framework("hf").with_overrides(gpu_weight_fraction=0.0)
 
+    def test_device_rejects_negative_overhead_and_power(self):
+        from dataclasses import replace
+
+        good = get_device("a100-80g")
+        with pytest.raises(ValueError, match="kernel_overhead_us"):
+            replace(good, kernel_overhead_us=-1.0)
+        with pytest.raises(ValueError, match="tdp_w/idle_w"):
+            replace(good, tdp_w=-400.0)
+        with pytest.raises(ValueError, match="tdp_w/idle_w"):
+            replace(good, idle_w=-5.0)
+        with pytest.raises(ValueError, match="dynamic headroom"):
+            replace(good, idle_w=good.tdp_w + 1.0)
+        # Zero overhead is a legal (idealised) device.
+        assert replace(good, kernel_overhead_us=0.0).kernel_overhead_us == 0.0
+
 
 def make_ledger(layers=32, tokens=10):
     ledger = CostLedger()
