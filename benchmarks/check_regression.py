@@ -2,11 +2,19 @@
 
 Compares a freshly produced benchmark JSON against its committed baseline in
 ``benchmarks/baselines/`` and fails (exit 1) when any gated throughput metric
-regresses more than the tolerance (default 10%).  Gated metrics are listed per
-file in ``GATES`` as dotted paths into the JSON; everything else is
-informational.  Higher is always better for gated metrics.
+regresses more than its tolerance.  Gated metrics are listed per file in
+``GATES`` as metric objects carrying a dotted path into the JSON and a
+tolerance class; everything else is informational.  Higher is always better
+for gated metrics.
 
-Usage:  python benchmarks/check_regression.py BENCH_serving.json [BENCH_async_slo.json ...]
+Two tolerance classes exist: :class:`Modelled` metrics come from the
+deterministic roofline cost model and get a tight 10% floor;
+:class:`WallClock` metrics are stopwatch measurements (the real-transformer
+serving benchmark) whose timing noise across machines and runs warrants a
+loose 35% floor — for those, prefer gating dimensionless speedup ratios over
+absolute tokens/s.
+
+Usage:  python benchmarks/check_regression.py BENCH_serving.json [BENCH_wallclock.json ...]
 """
 
 from __future__ import annotations
@@ -17,19 +25,39 @@ import os
 import sys
 
 BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
-TOLERANCE = 0.10
 
-# file name -> dotted paths of higher-is-better metrics gated against baseline
+
+class Modelled:
+    """Deterministic roofline-priced metric: tight regression floor."""
+
+    tolerance = 0.10
+
+    def __init__(self, path: str):
+        self.path = path
+
+
+class WallClock(Modelled):
+    """Measured wall-clock metric: loose floor, timing noise is real."""
+
+    tolerance = 0.35
+
+
+# file name -> higher-is-better metrics gated against the committed baseline
 GATES = {
-    "BENCH_serving.json": ["serving_tps", "speedup"],
+    "BENCH_serving.json": [Modelled("serving_tps"), Modelled("speedup")],
     "BENCH_async_slo.json": [
-        "speculative.throughput_tps",
-        "speculative.slo_attainment",
+        Modelled("speculative.throughput_tps"),
+        Modelled("speculative.slo_attainment"),
     ],
     "BENCH_sharded_scaling.json": [
-        "gates.decode_tp2_tps",
-        "gates.prefill_tp2_tps",
-        "gates.tp2_over_tp1",
+        Modelled("gates.decode_tp2_tps"),
+        Modelled("gates.prefill_tp2_tps"),
+        Modelled("gates.tp2_over_tp1"),
+    ],
+    "BENCH_wallclock.json": [
+        # Only the dimensionless ratio is gated: it is machine-portable,
+        # whereas absolute tok/s swings with the host and stays informational.
+        WallClock("gates.b16_speedup"),
     ],
 }
 
@@ -43,7 +71,7 @@ def lookup(blob: dict, path: str):
     return float(node)
 
 
-def check_file(current_path: str, tolerance: float) -> list[str]:
+def check_file(current_path: str, tolerance: float | None) -> list[str]:
     name = os.path.basename(current_path)
     if name not in GATES:
         return [f"{name}: no gate registered for this benchmark file"]
@@ -55,13 +83,15 @@ def check_file(current_path: str, tolerance: float) -> list[str]:
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     failures = []
-    for path in GATES[name]:
+    for gate in GATES[name]:
+        path = gate.path
         base = lookup(baseline, path)
         cur = lookup(current, path)
-        floor = base * (1.0 - tolerance)
+        gate_tolerance = gate.tolerance if tolerance is None else tolerance
+        floor = base * (1.0 - gate_tolerance)
         status = "OK " if cur >= floor else "FAIL"
         print(f"  [{status}] {name}:{path}  current={cur:g}  baseline={base:g}  "
-              f"floor={floor:g}")
+              f"floor={floor:g}  (tol {gate_tolerance:.0%})")
         if cur < floor:
             failures.append(
                 f"{name}:{path} regressed {(1 - cur / base):.1%} "
@@ -72,8 +102,9 @@ def check_file(current_path: str, tolerance: float) -> list[str]:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+", help="freshly produced benchmark JSONs")
-    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
-                        help="allowed fractional drop vs baseline (default 0.10)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override every gate's tolerance class "
+                             "(default: per-metric, 0.10 modelled / 0.35 wall-clock)")
     args = parser.parse_args(argv)
     failures: list[str] = []
     for path in args.files:

@@ -118,6 +118,9 @@ class SpecEEEngine:
             window=self.config.context_window, vicinity=self.config.layer_vicinity,
         )
         self._extractor = FeatureExtractor(self.config.num_speculative)
+        # Per-sequence extractors for step_batch (each sequence's feature
+        # variation history must stay isolated); grown on demand.
+        self._extractor_pool: List[FeatureExtractor] = []
 
     def generate(
         self,
@@ -220,8 +223,7 @@ class SpecEEEngine:
                     break
             else:
                 # Unverified exit (ablation only): trust the top local token.
-                local = model.lm_head_slice(hidden, spec_tokens)
-                exit_token = int(spec_tokens[int(np.argmax(local))])
+                exit_token = int(spec_tokens[int(np.argmax(spec_logits))])
                 exit_layer = layer
                 break
 
@@ -255,3 +257,128 @@ class SpecEEEngine:
         result.exit_layers.append(exit_layer)
         result.records.append(record)
         return record
+
+    def step_batch(
+        self,
+        states: Sequence[LMState],
+        results: Sequence[GenerationResult],
+        schedulers: Sequence[Scheduler],
+        capture_hidden: bool = False,
+    ) -> List[StepRecord]:
+        """Advance many sequences by one token each, batching the layer math.
+
+        The decision logic is exactly :meth:`step`'s, applied per sequence:
+        every sequence keeps its own predictor scheduler, feature-extractor
+        history and cost ledger, so the committed tokens are identical to
+        running the sequences through :meth:`step` one at a time.  What is
+        shared is the *weight pass*: each decoder layer runs once over the
+        batch of sequences still alive at that depth
+        (:meth:`~repro.model.base.LayeredLM.layer_forward_batch`), and
+        sequences drop out of the batch the moment their exit verifies — the
+        SpecEE layer-skip shape, now with shrinking GEMMs.  Backends without
+        real batched math (``supports_batched_decode`` False) fall back to a
+        scalar :meth:`step` loop.
+        """
+        b = len(states)
+        if not (b == len(results) == len(schedulers)):
+            raise ValueError("states, results and schedulers must align")
+        if b == 0:
+            return []
+        model, cfg = self.model, self.config
+        if not model.supports_batched_decode:
+            return [self.step(state, result, scheduler=sched,
+                              capture_hidden=capture_hidden)
+                    for state, result, sched in zip(states, results, schedulers)]
+
+        spec_tokens = [self.speculator.propose(state.context) for state in states]
+        draft_hits = [self.speculator.is_hit(state.context) for state in states]
+        while len(self._extractor_pool) < b:
+            self._extractor_pool.append(FeatureExtractor(cfg.num_speculative))
+        extractors = self._extractor_pool[:b]
+        for result, extractor in zip(results, extractors):
+            result.ledger.add(Event.DRAFT_STEP)
+            extractor.reset()
+
+        n_layers = model.n_layers
+        exit_token: List[Optional[int]] = [None] * b
+        exit_layer = [n_layers - 1] * b
+        predictor_evals = [0] * b
+        verify_attempts = [0] * b
+        active_predictors = [sched.active_count() for sched in schedulers]
+
+        hidden = model.begin_step_batch(states)  # [B, dim]
+        live = list(range(b))
+        for layer in range(n_layers):
+            new = model.layer_forward_batch([states[i] for i in live], layer,
+                                            hidden[live])
+            hidden[live] = new
+            for i in live:
+                results[i].ledger.add(Event.DECODER_LAYER)
+            if layer >= n_layers - 1 or layer < cfg.min_exit_layer:
+                continue
+            still: List[int] = []
+            for pos, i in enumerate(live):
+                if not schedulers[i].is_active(layer):
+                    still.append(i)
+                    continue
+                ledger = results[i].ledger
+                h = new[pos]
+                local_logits = model.lm_head_slice(h, spec_tokens[i])
+                ledger.add(Event.LM_HEAD_SLICE, units=cfg.num_speculative)
+                features = extractors[i].extract(local_logits)
+                ledger.add(Event.PREDICTOR)
+                predictor_evals[i] += 1
+                probability = self.predictors.probability(layer, features)
+                if probability < cfg.exit_threshold:
+                    still.append(i)
+                    continue
+                if cfg.verify_on_exit:
+                    verify_attempts[i] += 1
+                    ledger.add(Event.LM_HEAD_FULL)
+                    verdict = verify_exit(model, h, spec_tokens[i])
+                    if verdict.ok:
+                        exit_token[i], exit_layer[i] = verdict.token, layer
+                    else:
+                        still.append(i)
+                else:
+                    # Unverified exit (ablation only): trust the top local token.
+                    exit_token[i] = int(spec_tokens[i][int(np.argmax(local_logits))])
+                    exit_layer[i] = layer
+            live = still
+            if not live:
+                break
+
+        finals = [i for i in range(b) if exit_token[i] is None]
+        if finals:
+            logits = model.lm_head_full_batch(hidden[finals])
+            for row, i in zip(logits, finals):
+                results[i].ledger.add(Event.LM_HEAD_FULL)
+                exit_token[i] = int(np.argmax(row))
+                exit_layer[i] = n_layers - 1
+
+        for i in range(b):
+            if exit_layer[i] < n_layers - 1:
+                results[i].ledger.add(Event.KV_FILL,
+                                      units=n_layers - 1 - exit_layer[i])
+        model.commit_batch(states, exit_token, exit_layer)
+
+        records: List[StepRecord] = []
+        for i in range(b):
+            early = exit_layer[i] < n_layers - 1
+            if early:
+                schedulers[i].observe_exit(exit_layer[i])
+            ledger = results[i].ledger
+            ledger.tokens_generated += 1
+            ledger.steps += 1
+            record = StepRecord(
+                token=exit_token[i], exit_layer=exit_layer[i], early_exit=early,
+                predictor_evals=predictor_evals[i],
+                verify_attempts=verify_attempts[i],
+                active_predictors=active_predictors[i], draft_hit=draft_hits[i],
+                hidden=np.array(hidden[i], copy=True) if capture_hidden else None,
+            )
+            results[i].tokens.append(exit_token[i])
+            results[i].exit_layers.append(exit_layer[i])
+            results[i].records.append(record)
+            records.append(record)
+        return records

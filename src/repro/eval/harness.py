@@ -25,12 +25,13 @@ from repro.data.corpus import generate_prompts
 from repro.data.datasets import DatasetItem, DatasetSpec
 from repro.eval.metrics import accuracy_percent, answer_matches, perplexity_from_logprobs
 from repro.hardware.ledger import CostLedger
+from repro.model.base import LayeredLM
 from repro.model.draft import Speculator
 from repro.model.profiles import get_profile
 from repro.model.synthetic import SyntheticLayeredLM
 
 __all__ = [
-    "Rig", "EvalRun", "build_rig", "make_model",
+    "Rig", "EvalRun", "build_rig", "build_transformer_rig", "make_model",
     "run_items", "run_classification", "run_generation", "trained_assets",
 ]
 
@@ -99,16 +100,22 @@ def trained_assets(
 
 @dataclass
 class Rig:
-    """Everything needed to evaluate one (model, dataset, flavor) combo."""
+    """Everything needed to evaluate one (model, dataset, flavor) combo.
+
+    ``model`` is usually the synthetic substrate; :func:`build_transformer_rig`
+    builds the same bundle over the real numpy transformer backend, supplying
+    ``model_factory`` so :meth:`fresh_model` still works.
+    """
 
     model_name: str
     flavor: str
-    model: SyntheticLayeredLM
+    model: "LayeredLM"
     speculator: Speculator
     bank: PredictorBank
     offline_freqs: np.ndarray
     sim: SimDims = _DEFAULT_SIM
     seed: int = 0
+    model_factory: Optional[Callable[[], "LayeredLM"]] = None
 
     def make_scheduler(
         self,
@@ -173,8 +180,10 @@ class Rig:
             engine, get_model_spec(self.model_name), device=device,
             framework=framework, scheduler_factory=factory, **serving_kwargs)
 
-    def fresh_model(self) -> SyntheticLayeredLM:
+    def fresh_model(self) -> "LayeredLM":
         """A new model instance with identical semantics (independent state)."""
+        if self.model_factory is not None:
+            return self.model_factory()
         return SyntheticLayeredLM(self.model.profile, self.sim, seed=self.seed)
 
 
@@ -195,6 +204,72 @@ def build_rig(
     return Rig(model_name=model_name, flavor=flavor, model=model,
                speculator=speculator, bank=bank, offline_freqs=freqs,
                sim=sim, seed=seed)
+
+
+# (TransformerConfig-ish key) -> (bank, offline frequencies)
+_TRANSFORMER_ASSET_CACHE: Dict[Tuple, Tuple[PredictorBank, np.ndarray]] = {}
+
+
+def build_transformer_rig(
+    cfg=None,
+    seed: int = 0,
+    max_tokens: int = 512,
+    k: int = 4,
+    draft_hit_rate: float = 0.6,
+    predictor_hidden: int = 64,
+    predictor_depth: int = 2,
+    train_prompts: int = 3,
+    train_tokens: int = 20,
+    epochs: int = 8,
+) -> Rig:
+    """Rig over the real numpy transformer (:class:`TransformerLayeredLM`).
+
+    Unlike the synthetic rig there is no semantic profile: the draft
+    speculator runs over an :class:`~repro.model.oracle.NGramOracle` that is
+    *not* distilled from the transformer, so with random weights verified
+    early exits are rare — the point of this rig is measured wall-clock
+    serving through genuine attention/FFN math, not calibrated accuracy.
+    The predictor bank is trained on features harvested from the transformer
+    itself, and the offline exit profile comes from a short profiling decode,
+    exactly mirroring :func:`trained_assets`.  Assets are cached per
+    (config, seed, sizes) so tests and the CLI pay the training cost once.
+    """
+    from repro.model.oracle import NGramOracle
+    from repro.model.transformer_backend import TransformerLayeredLM
+    from repro.nn.transformer import TransformerConfig
+
+    cfg = cfg or TransformerConfig()
+    model = TransformerLayeredLM(cfg, seed=seed, max_tokens=max_tokens)
+    oracle = NGramOracle(cfg.vocab_size, order=3, seed=seed + 1)
+    speculator = Speculator(oracle, k=k, hit_rate=draft_hit_rate)
+    key = (cfg, seed, max_tokens, k, draft_hit_rate, predictor_hidden,
+           predictor_depth, train_prompts, train_tokens, epochs)
+    if key in _TRANSFORMER_ASSET_CACHE:
+        bank, freqs = _TRANSFORMER_ASSET_CACHE[key]
+    else:
+        prompts = generate_prompts(train_prompts, cfg.vocab_size, seed=seed + 11)
+        corpus = harvest_training_corpus(model, speculator, prompts,
+                                         tokens_per_prompt=train_tokens)
+        bank = PredictorBank(model.n_layers, feature_dim=3 * k,
+                             hidden_dim=predictor_hidden, depth=predictor_depth,
+                             seed=seed)
+        train_predictor_bank(bank, corpus, epochs=epochs, seed=seed)
+        profiling = SpecEEEngine(
+            model, speculator, bank, SpecEEConfig(num_speculative=k),
+            scheduler=make_scheduler("all", model.n_layers),
+        )
+        exits: List[int] = []
+        for prompt in generate_prompts(2, cfg.vocab_size, seed=seed + 23):
+            run = profiling.generate(prompt, 16)
+            exits.extend(l for l, r in zip(run.exit_layers, run.records)
+                         if r.early_exit)
+        freqs = profile_exit_frequencies(exits, model.n_layers)
+        _TRANSFORMER_ASSET_CACHE[key] = (bank, freqs)
+    return Rig(model_name="tiny-transformer", flavor="dense", model=model,
+               speculator=speculator, bank=bank, offline_freqs=freqs,
+               seed=seed,
+               model_factory=lambda: TransformerLayeredLM(
+                   cfg, seed=seed, max_tokens=max_tokens))
 
 
 @dataclass

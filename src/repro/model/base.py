@@ -48,7 +48,22 @@ class LMState:
 
 
 class LayeredLM(abc.ABC):
-    """Abstract layer-resolved LM (see module docstring)."""
+    """Abstract layer-resolved LM (see module docstring).
+
+    Besides the scalar per-sequence interface, the class defines a *batched
+    decode* surface (``begin_step_batch`` / ``layer_forward_batch`` /
+    ``lm_head_full_batch`` / ``commit_batch`` / ``step_batch``) that advances
+    many sequences one layer at a time, so per-sequence early exits shrink
+    the batch mid-stack.  The default implementations fall back to the scalar
+    methods (correct for every backend); backends that can run genuinely
+    batched math set ``supports_batched_decode = True`` and override them —
+    see :class:`~repro.model.transformer_backend.TransformerLayeredLM`.
+    """
+
+    #: Whether the batched-decode overrides run real [B, dim] math (True) or
+    #: the scalar fallbacks (False).  Serving uses this to pick the wall-clock
+    #: fast path.
+    supports_batched_decode: bool = False
 
     # -- static shape ------------------------------------------------------
     @property
@@ -93,6 +108,85 @@ class LayeredLM(abc.ABC):
     @abc.abstractmethod
     def commit(self, state: LMState, token: int, exit_layer: int) -> None:
         """Accept ``token`` as the step's output, generated at ``exit_layer``."""
+
+    # -- batched decode ------------------------------------------------------
+    def begin_step_batch(self, states: Sequence[LMState]) -> Optional[np.ndarray]:
+        """Prepare every state for its next token.
+
+        Returns the ``[B, hidden]`` batch of current activations when the
+        backend runs genuinely batched math, else ``None`` (the scalar
+        fallback keeps activations inside each state).
+        """
+        for state in states:
+            self.begin_step(state)
+        return None
+
+    def layer_forward_batch(
+        self,
+        states: Sequence[LMState],
+        layer: int,
+        hidden: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run decoder layer ``layer`` for every state; returns ``[B, hidden]``.
+
+        ``hidden`` is the batch returned by the previous call (ignored by the
+        scalar fallback, which reads each state's own activation).  Callers
+        shrink ``states`` between layers as sequences exit early — that is
+        the SpecEE layer-skip shape, and for batched backends it shrinks the
+        GEMMs accordingly.
+        """
+        return np.stack([self.layer_forward(state, layer) for state in states])
+
+    def lm_head_full_batch(self, hidden: np.ndarray) -> np.ndarray:
+        """Full-vocabulary logits for a ``[B, hidden]`` batch."""
+        return np.stack([self.lm_head_full(h) for h in hidden])
+
+    def commit_batch(
+        self,
+        states: Sequence[LMState],
+        tokens: Sequence[int],
+        exit_layers: Sequence[int],
+    ) -> None:
+        """Accept one token per state (each possibly decided mid-depth)."""
+        for state, token, exit_layer in zip(states, tokens, exit_layers):
+            self.commit(state, int(token), int(exit_layer))
+
+    def step_batch(
+        self, states: Sequence[LMState], exit_layers: Sequence[int]
+    ) -> List[int]:
+        """Greedy-decode one token for every state with per-sequence exit
+        depths.
+
+        Sequence ``i`` runs layers ``0 .. exit_layers[i]`` and commits the
+        argmax of the full LM head at its exit activation; sequences drop out
+        of the batch as the depth passes their exit layer.  Used by dense
+        batched decoding and by callers that decide exits up front; the
+        SpecEE engine drives the finer-grained primitives directly because
+        its exits are decided layer by layer.
+        """
+        if len(states) != len(exit_layers):
+            raise ValueError(
+                f"{len(states)} states but {len(exit_layers)} exit layers")
+        if not states:
+            return []
+        exits = [int(e) for e in exit_layers]
+        for e in exits:
+            if not 0 <= e < self.n_layers:
+                raise ValueError(f"exit layer {e} outside [0, {self.n_layers})")
+        b = len(states)
+        batch = self.begin_step_batch(states)
+        hidden: Optional[np.ndarray] = batch
+        for layer in range(max(exits) + 1):
+            idx = [i for i in range(b) if exits[i] >= layer]
+            sub = None if hidden is None else hidden[idx]
+            new = self.layer_forward_batch([states[i] for i in idx], layer, sub)
+            if hidden is None:
+                hidden = np.zeros((b, new.shape[-1]))
+            hidden[idx] = new
+        logits = self.lm_head_full_batch(hidden)
+        tokens = [int(t) for t in np.argmax(logits, axis=-1)]
+        self.commit_batch(states, tokens, exits)
+        return tokens
 
     # -- conveniences --------------------------------------------------------
     def run_to_layer(self, state: LMState, layer: int) -> np.ndarray:

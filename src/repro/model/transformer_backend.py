@@ -40,6 +40,8 @@ class TransformerLayeredLM(LayeredLM):
     systems.
     """
 
+    supports_batched_decode = True
+
     def __init__(self, cfg: TransformerConfig | None = None, seed: int = 0, max_tokens: int = 512):
         self.cfg = cfg or TransformerConfig()
         self.lm = TinyTransformerLM(self.cfg, seed=seed)
@@ -107,3 +109,77 @@ class TransformerLayeredLM(LayeredLM):
         state.step_index += 1
         state.hidden = None
         state.layer_cursor = -1
+
+    # -- batched decode ------------------------------------------------------
+    def begin_step_batch(self, states: Sequence[TransformerState]) -> np.ndarray:
+        """Embed every sequence's last token with one table gather."""
+        last = [state.context[-1] for state in states]
+        batch = self.lm.embed(np.asarray(last, dtype=np.int64))  # [B, dim]
+        for i, state in enumerate(states):
+            state.hidden = batch[i : i + 1]
+            state.layer_cursor = -1
+        return batch
+
+    def layer_forward_batch(
+        self,
+        states: Sequence[TransformerState],
+        layer: int,
+        hidden: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One batched layer over the live sequences (stacked QKV GEMM,
+        per-sequence ragged KV gather)."""
+        for state in states:
+            if state.hidden is None:
+                raise RuntimeError("begin_step_batch must precede layer_forward_batch")
+            if layer != state.layer_cursor + 1:
+                raise ValueError(
+                    f"layers must run in order: expected {state.layer_cursor + 1}, "
+                    f"got {layer}")
+        if hidden is None:
+            hidden = np.vstack([state.hidden for state in states])
+        positions = np.asarray([len(state.context) - 1 for state in states])
+        caches = [state.cache for state in states]
+        new = self.lm.layer_decode_batch(hidden, layer, caches, positions)
+        for i, state in enumerate(states):
+            state.hidden = new[i : i + 1]
+            state.layer_cursor = layer
+        return new
+
+    def lm_head_full_batch(self, hidden: np.ndarray) -> np.ndarray:
+        """Final norm + LM-head projection of the whole ``[B, dim]`` batch."""
+        return self.lm.lm_head(hidden)
+
+    def commit_batch(
+        self,
+        states: Sequence[TransformerState],
+        tokens: Sequence[int],
+        exit_layers: Sequence[int],
+    ) -> None:
+        """Commit one token per sequence with batched KV propagation.
+
+        Sequences exited at different depths, so the hidden-state fill runs
+        layer by layer over the subset of sequences whose cursor is still
+        above that depth — the batch grows as the depth passes each exit
+        layer, mirroring how it shrank on the way down.
+        """
+        if not states:
+            return
+        for state in states:
+            if state.hidden is None:
+                raise RuntimeError("commit_batch without begin_step_batch")
+        hidden = np.vstack([state.hidden for state in states])
+        positions = np.asarray([len(state.context) - 1 for state in states])
+        cursors = [state.layer_cursor for state in states]
+        for layer in range(self.n_layers):
+            idx = [i for i, cursor in enumerate(cursors) if cursor < layer]
+            if not idx:
+                continue
+            sub = self.lm.layer_decode_batch(
+                hidden[idx], layer, [states[i].cache for i in idx], positions[idx])
+            hidden[idx] = sub
+        for state, token, exit_layer in zip(states, tokens, exit_layers):
+            state.context.append(int(token))
+            state.exit_layers.append(int(exit_layer))
+            state.step_index += 1
+            state.hidden = None
+            state.layer_cursor = -1

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -13,27 +13,57 @@ __all__ = ["KVCache", "CausalSelfAttention"]
 
 
 class KVCache:
-    """Per-layer key/value cache with preallocated contiguous storage.
+    """Per-layer key/value cache with geometrically grown contiguous storage.
 
     Shapes: keys/values are ``[n_kv_heads, T, head_dim]`` per layer.  The cache
     supports appending one or more steps at a time and exposes read-only views
     of the filled prefix, mirroring how inference engines grow the cache one
-    token per decode step.
+    token per decode step.  Storage starts at ``initial_tokens`` capacity and
+    doubles on demand up to ``max_tokens`` — appends stay amortised O(1)
+    without paying the full ``max_tokens`` allocation for short sequences.
     """
 
-    def __init__(self, n_layers: int, n_kv_heads: int, head_dim: int, max_tokens: int):
+    def __init__(
+        self,
+        n_layers: int,
+        n_kv_heads: int,
+        head_dim: int,
+        max_tokens: int,
+        initial_tokens: int = 64,
+    ):
         if max_tokens <= 0:
             raise ValueError("max_tokens must be positive")
+        if initial_tokens <= 0:
+            raise ValueError("initial_tokens must be positive")
         self.n_layers = n_layers
         self.n_kv_heads = n_kv_heads
         self.head_dim = head_dim
         self.max_tokens = max_tokens
-        self._k = np.zeros((n_layers, n_kv_heads, max_tokens, head_dim))
-        self._v = np.zeros((n_layers, n_kv_heads, max_tokens, head_dim))
+        self._capacity = min(max_tokens, initial_tokens)
+        self._k = np.zeros((n_layers, n_kv_heads, self._capacity, head_dim))
+        self._v = np.zeros((n_layers, n_kv_heads, self._capacity, head_dim))
         self._lengths = np.zeros(n_layers, dtype=np.int64)
+
+    @property
+    def capacity(self) -> int:
+        """Tokens the current allocation can hold before the next growth."""
+        return self._capacity
 
     def length(self, layer: int) -> int:
         return int(self._lengths[layer])
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        capacity = min(capacity, self.max_tokens)
+        grown_k = np.zeros((self.n_layers, self.n_kv_heads, capacity, self.head_dim))
+        grown_v = np.zeros_like(grown_k)
+        grown_k[:, :, : self._capacity] = self._k
+        grown_v[:, :, : self._capacity] = self._v
+        self._k, self._v, self._capacity = grown_k, grown_v, capacity
 
     def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
         """Append ``[n_kv_heads, t, head_dim]`` keys/values for ``layer``."""
@@ -43,6 +73,7 @@ class KVCache:
             raise ValueError(
                 f"KV cache overflow at layer {layer}: {start}+{t} > {self.max_tokens}"
             )
+        self._ensure_capacity(start + t)
         self._k[layer, :, start : start + t] = k
         self._v[layer, :, start : start + t] = v
         self._lengths[layer] = start + t
@@ -91,6 +122,10 @@ class CausalSelfAttention:
         self.wk = rng.normal(0.0, scale, size=(dim, self.n_kv_heads * self.head_dim))
         self.wv = rng.normal(0.0, scale, size=(dim, self.n_kv_heads * self.head_dim))
         self.wo = rng.normal(0.0, scale, size=(n_heads * self.head_dim, dim))
+        # Stacked inference layout: one GEMM yields Q, K and V for a whole
+        # decode batch.  Cached C-contiguous at init so the hot path never
+        # re-concatenates or transposes weights.
+        self.wqkv = np.ascontiguousarray(np.concatenate([self.wq, self.wk, self.wv], axis=1))
         self.rope = RotaryEmbedding(self.head_dim, max_positions=max_positions)
 
     def forward(
@@ -132,4 +167,60 @@ class CausalSelfAttention:
         attn = softmax(scores, axis=-1)
         ctx = attn @ values_q  # [H, t, head_dim]
         ctx = ctx.transpose(1, 0, 2).reshape(t, self.n_heads * self.head_dim)
+        return ctx @ self.wo
+
+    def decode_batch(
+        self,
+        x: np.ndarray,
+        layer: int,
+        caches: Sequence[KVCache],
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Batched single-token decode: one new token per sequence.
+
+        ``x`` is ``[B, dim]`` (row ``i`` is sequence ``i``'s current
+        activation), ``caches[i]`` its KV cache and ``positions[i]`` its
+        absolute position.  The QKV projection and the output projection are
+        one stacked GEMM each across the batch; attention itself is a
+        mask-free gather over each sequence's filled cache view (a single
+        query at the newest position sees the whole prefix, so no causal mask
+        is needed).  Sequences whose caches have the same filled length —
+        the common case, since every live sequence grows one token per tick —
+        are stacked and attended in one batched matmul; odd lengths fall back
+        to a per-sequence gather.  Appends this step's K/V to every cache.
+        """
+        b = x.shape[0]
+        q_dim = self.n_heads * self.head_dim
+        kv_dim = self.n_kv_heads * self.head_dim
+        qkv = x @ self.wqkv  # [B, q_dim + 2*kv_dim], one GEMM for the batch
+        q = qkv[:, :q_dim].reshape(b, self.n_heads, self.head_dim)
+        k = qkv[:, q_dim : q_dim + kv_dim].reshape(b, self.n_kv_heads, self.head_dim)
+        v = qkv[:, q_dim + kv_dim :].reshape(b, self.n_kv_heads, self.head_dim)
+        cos, sin = self.rope.tables_for(positions)  # [B, head_dim/2]
+        q = apply_rope(q, cos[:, None, :], sin[:, None, :])
+        k = apply_rope(k, cos[:, None, :], sin[:, None, :])
+
+        groups: dict = {}
+        for i, cache in enumerate(caches):
+            cache.append(layer, k[i][:, None, :], v[i][:, None, :])
+            groups.setdefault(cache.length(layer), []).append(i)
+
+        sqrt_hd = np.sqrt(self.head_dim)
+        ctx = np.empty((b, self.n_heads * self.head_dim))
+        for total, idx in groups.items():
+            if len(idx) == 1:
+                i = idx[0]
+                keys, values = caches[i].view(layer)  # [n_kv_heads, T, head_dim]
+                # Grouped-query layout: query head h reads KV head h // group.
+                qi = q[i].reshape(self.n_kv_heads, self.group, self.head_dim)
+                scores = qi @ keys.transpose(0, 2, 1) / sqrt_hd
+                attn = softmax(scores, axis=-1)
+                ctx[i] = (attn @ values).reshape(-1)
+                continue
+            keys = np.stack([caches[i].view(layer)[0] for i in idx])
+            values = np.stack([caches[i].view(layer)[1] for i in idx])
+            qg = q[idx].reshape(len(idx), self.n_kv_heads, self.group, self.head_dim)
+            scores = qg @ keys.transpose(0, 1, 3, 2) / sqrt_hd  # [n, KV, group, T]
+            attn = softmax(scores, axis=-1)
+            ctx[idx] = (attn @ values).reshape(len(idx), -1)
         return ctx @ self.wo

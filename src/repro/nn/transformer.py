@@ -57,6 +57,18 @@ class _DecoderLayer:
         x = x + self.ffn.forward_np(self.ffn_norm.forward_np(x))
         return x
 
+    def decode_batch(
+        self, x: np.ndarray, layer: int, caches: List[KVCache], positions: np.ndarray
+    ) -> np.ndarray:
+        """Batched decode: ``x`` is ``[B, dim]``, one new token per sequence.
+
+        Norms and the SwiGLU already broadcast over the batch axis; attention
+        goes through the stacked-QKV batched path with per-sequence caches.
+        """
+        x = x + self.attn.decode_batch(self.attn_norm.forward_np(x), layer, caches, positions)
+        x = x + self.ffn.forward_np(self.ffn_norm.forward_np(x))
+        return x
+
 
 class TinyTransformerLM:
     """Inference-only transformer with layer-resolved forward.
@@ -89,6 +101,17 @@ class TinyTransformerLM:
         self, hidden: np.ndarray, layer: int, cache: KVCache, positions: np.ndarray
     ) -> np.ndarray:
         return self.layers[layer].forward(hidden, layer, cache, positions)
+
+    def layer_decode_batch(
+        self,
+        hidden: np.ndarray,
+        layer: int,
+        caches: List[KVCache],
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Run one decoder layer over a ``[B, dim]`` decode batch (one new
+        token per sequence, each with its own cache and absolute position)."""
+        return self.layers[layer].decode_batch(hidden, layer, caches, positions)
 
     def lm_head(self, hidden: np.ndarray) -> np.ndarray:
         return self.final_norm.forward_np(hidden) @ self.lm_head_weight

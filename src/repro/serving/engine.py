@@ -28,6 +28,7 @@ cost across devices — tokens are identical to the single-device run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -122,11 +123,26 @@ class ServingReport:
     peak_kv_blocks: int = 0
     tick_layer_batches: List[List[int]] = field(default_factory=list)
     cluster: Optional[object] = None  # ClusterSpec when the run was sharded
+    wall_time_s: float = 0.0  # measured host seconds spent inside run()
+    batched_decode: bool = False  # whether the run used the batched fast path
 
     @property
     def total_tokens(self) -> int:
         """Tokens generated across every served request."""
         return sum(len(r.tokens) for r in self.results.values())
+
+    @property
+    def measured_tps(self) -> float:
+        """Measured wall-clock tokens/s of this run (stopwatch, not model).
+
+        Only meaningful for real backends, where decode executes genuine
+        array math; for the synthetic backend it just times the simulation.
+        Modelled throughput lives in :meth:`priced_speedup` — reports quote
+        the two side by side.
+        """
+        if self.wall_time_s <= 0.0:
+            return float("nan")
+        return self.total_tokens / self.wall_time_s
 
     @property
     def avg_batch_occupancy(self) -> float:
@@ -209,13 +225,18 @@ class ServingEngine:
         n_kv_heads: Optional[int] = None,
         scheduler_factory: Optional[Callable[[], Scheduler]] = None,
         cluster=None,
+        batched: Optional[bool] = None,
     ):
         """Build the server; ``cluster`` (a ``ClusterSpec``) shards the run.
 
         ``kv_blocks`` is per device: under pipeline parallelism each stage
         owns its own pool of that size (:func:`build_paged_cache`).
+        ``batched`` picks the decode inner loop (see
+        :class:`ContinuousBatchScheduler`); the default ``None`` enables the
+        batched fast path exactly for backends with real batched math.
         """
         self.engine = engine
+        self.batched = batched
         self.cluster = cluster if cluster is not None and not cluster.is_single else None
         if self.cluster is not None:
             self.cluster.stage_layers(engine.model.n_layers)  # pp <= n_layers
@@ -230,13 +251,20 @@ class ServingEngine:
         self.scheduler_factory = scheduler_factory
 
     def run(self, requests: Sequence[Request]) -> ServingReport:
-        """Serve ``requests`` to completion with continuous batching."""
+        """Serve ``requests`` to completion with continuous batching.
+
+        Besides the modelled ledgers, the report carries the measured wall
+        time of the serve loop (``wall_time_s`` / ``measured_tps``) so real
+        backends report stopwatch throughput next to the priced one.
+        """
+        start_time = time.perf_counter()
         scheduler = ContinuousBatchScheduler(
             self.engine, self.cache, self.policy, self.scheduler_factory,
+            batched=self.batched,
         )
         for request in requests:
             scheduler.submit(request)
-        report = ServingReport(cluster=self.cluster)
+        report = ServingReport(cluster=self.cluster, batched_decode=scheduler.batched)
         while scheduler.has_work:
             outcome = scheduler.tick()
             report.batch_occupancy.append(outcome.occupancy)
@@ -252,6 +280,7 @@ class ServingEngine:
                     tokens=len(slot.result.tokens),
                 )
         report.n_steps = scheduler.step_count
+        report.wall_time_s = time.perf_counter() - start_time
         for result in report.results.values():
             report.sequential_ledger.merge(result.ledger)
         if self.cluster is not None:

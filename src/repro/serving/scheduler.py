@@ -22,7 +22,7 @@ reports those per-layer batch sizes so the serving engine can ledger them as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.engine import GenerationResult, SpecEEEngine, StepRecord
 from repro.core.scheduling import Scheduler
@@ -84,12 +84,25 @@ class ContinuousBatchScheduler:
         cache: PagedKVCache,
         policy: AdmissionPolicy,
         scheduler_factory: Callable[[], Scheduler],
+        batched: Optional[bool] = None,
     ):
-        """Wire the scheduler to one engine, KV cache and admission policy."""
+        """Wire the scheduler to one engine, KV cache and admission policy.
+
+        ``batched`` selects the decode inner loop: ``True`` drives
+        :meth:`SpecEEEngine.step_batch` (one shared weight pass per layer per
+        tick — the wall-clock fast path for real backends), ``False`` the
+        per-sequence :meth:`SpecEEEngine.step` loop, and ``None`` (default)
+        picks batched exactly when the model's
+        ``supports_batched_decode`` says the batch runs real math.  Either
+        way the committed tokens and per-sequence ledgers are identical.
+        """
         self.engine = engine
         self.cache = cache
         self.policy = policy
         self.scheduler_factory = scheduler_factory
+        if batched is None:
+            batched = engine.model.supports_batched_decode
+        self.batched = bool(batched)
         self.queue = RequestQueue()
         self.running: List[SequenceSlot] = []
         self.reserved_blocks = 0
@@ -155,9 +168,18 @@ class ContinuousBatchScheduler:
         """Admit, advance every live sequence one token, retire finished."""
         outcome = TickOutcome(step=self.step_count)
         self._admit(outcome)
-        for slot in self.running:
-            record = self.engine.step(slot.state, slot.result,
-                                      scheduler=slot.scheduler, capture_hidden=True)
+        if self.batched and self.running:
+            records = self.engine.step_batch(
+                [slot.state for slot in self.running],
+                [slot.result for slot in self.running],
+                [slot.scheduler for slot in self.running],
+                capture_hidden=True,
+            )
+        else:
+            records = [self.engine.step(slot.state, slot.result,
+                                        scheduler=slot.scheduler, capture_hidden=True)
+                       for slot in self.running]
+        for slot, record in zip(self.running, records):
             outcome.depths.append(record.exit_layer + 1)
             outcome.records.append(record)
             if record.hidden is not None:

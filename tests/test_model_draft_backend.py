@@ -152,3 +152,77 @@ class TestTransformerBackend:
         ids = np.array([0, 9, 33])
         assert np.allclose(backend.lm_head_slice(h, ids), backend.lm_head_full(h)[ids])
         backend.commit(state, 0, backend.n_layers - 1)
+
+
+class TestTransformerBatchedDecode:
+    CFG = TransformerConfig(vocab_size=64, dim=32, n_layers=3, n_heads=4,
+                            intermediate_dim=48, max_positions=128)
+
+    def fresh_pair(self):
+        return (TransformerLayeredLM(self.CFG, seed=0, max_tokens=128),
+                TransformerLayeredLM(self.CFG, seed=0, max_tokens=128))
+
+    def test_supports_batched_decode_flag(self):
+        backend, _ = self.fresh_pair()
+        assert backend.supports_batched_decode
+
+    def test_step_batch_token_identical_to_scalar_loop(self):
+        """Batched greedy decode with ragged per-sequence exit layers equals
+        the scalar begin/run_to_layer/commit loop, token for token."""
+        batched, scalar = self.fresh_pair()
+        prompts = [[1, 2, 3], [7, 8, 9, 10, 11], [4]]  # ragged lengths
+        states_b = [batched.start(p) for p in prompts]
+        states_s = [scalar.start(p) for p in prompts]
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            exits = [int(rng.integers(0, self.CFG.n_layers)) for _ in prompts]
+            tokens_b = batched.step_batch(states_b, exits)
+            tokens_s = []
+            for state, exit_layer in zip(states_s, exits):
+                scalar.begin_step(state)
+                hidden = scalar.run_to_layer(state, exit_layer)
+                token = scalar.greedy_token(hidden)
+                scalar.commit(state, token, exit_layer)
+                tokens_s.append(token)
+            assert tokens_b == tokens_s
+
+    def test_step_batch_fills_kv_for_skipped_layers(self):
+        backend, _ = self.fresh_pair()
+        states = [backend.start([3, 1]), backend.start([9, 9, 9])]
+        backend.step_batch(states, [0, backend.n_layers - 1])
+        for state in states:
+            for layer in range(backend.n_layers):
+                assert state.cache.length(layer) == len(state.context)
+
+    def test_step_batch_validates_inputs(self):
+        backend, _ = self.fresh_pair()
+        states = [backend.start([1, 2])]
+        with pytest.raises(ValueError):
+            backend.step_batch(states, [0, 1])  # length mismatch
+        with pytest.raises(ValueError):
+            backend.step_batch(states, [backend.n_layers])  # out of range
+        assert backend.step_batch([], []) == []
+
+    def test_layer_forward_batch_enforces_order(self):
+        backend, _ = self.fresh_pair()
+        states = [backend.start([1, 2, 3])]
+        backend.begin_step_batch(states)
+        backend.layer_forward_batch(states, 0)
+        with pytest.raises(ValueError):
+            backend.layer_forward_batch(states, 2)
+
+    def test_mid_batch_retirement_is_equivalent(self):
+        """A sequence leaving the batch must not perturb the others: decode
+        three sequences together, then continue two alone, and compare with
+        decoding the two in a pair the whole way."""
+        batched, scalar = self.fresh_pair()
+        trio = [batched.start([5, 6]), batched.start([7, 8]), batched.start([9])]
+        pair = [scalar.start([5, 6]), scalar.start([7, 8])]
+        kept_tokens, pair_tokens = [], []
+        for step in range(8):
+            exits = [1, 2, 0]
+            live = trio if step < 4 else trio[:2]  # third retires mid-run
+            tokens = batched.step_batch(live, exits[: len(live)])
+            kept_tokens.append(tokens[:2])
+            pair_tokens.append(scalar.step_batch(pair, exits[:2]))
+        assert kept_tokens == pair_tokens

@@ -43,6 +43,29 @@ class TestKVCache:
     def test_nbytes_positive(self):
         assert KVCache(2, 2, 4, 8).nbytes() > 0
 
+    def test_geometric_growth_preserves_contents(self):
+        cache = KVCache(1, 1, 2, 64, initial_tokens=2)
+        assert cache.capacity == 2
+        for step in range(40):
+            kv = np.full((1, 1, 2), float(step))
+            cache.append(0, kv, kv)
+        assert cache.length(0) == 40
+        assert 40 <= cache.capacity <= 64
+        keys, _ = cache.view(0)
+        assert np.array_equal(keys[0, :, 0], np.arange(40, dtype=float))
+
+    def test_growth_never_exceeds_max_tokens(self):
+        cache = KVCache(1, 1, 2, 5, initial_tokens=2)
+        cache.append(0, np.zeros((1, 5, 2)), np.zeros((1, 5, 2)))
+        assert cache.capacity == 5
+        with pytest.raises(ValueError):
+            cache.append(0, np.zeros((1, 1, 2)), np.zeros((1, 1, 2)))
+
+    def test_small_allocation_up_front(self):
+        """The whole point of growth: a long-budget cache starts small."""
+        small = KVCache(4, 4, 16, 4096, initial_tokens=32)
+        assert small.nbytes() < KVCache(4, 4, 16, 4096, initial_tokens=4096).nbytes() / 16
+
 
 class TestCausalAttention:
     def test_incremental_equals_full(self):
@@ -82,6 +105,42 @@ class TestCausalAttention:
             CausalSelfAttention(15, 4, np.random.default_rng(0))
         with pytest.raises(ValueError):
             CausalSelfAttention(16, 4, np.random.default_rng(0), n_kv_heads=3)
+
+    @pytest.mark.parametrize("lens", [
+        [4, 1, 7],        # all-distinct lengths: per-sequence gather branch
+        [5, 5, 5],        # one equal-length group: stacked GQA matmul branch
+        [3, 6, 3, 6, 2],  # mixed groups and a singleton
+    ])
+    def test_decode_batch_matches_per_sequence_forward(self, lens):
+        """Batched decode over ragged caches equals the per-sequence path —
+        for the singleton gather and the same-length stacked branch alike,
+        with grouped-query heads (group > 1) in play."""
+        rng = np.random.default_rng(3)
+        attn = CausalSelfAttention(16, 4, rng, n_kv_heads=2, max_positions=64)
+        caches_a = [KVCache(1, 2, 4, 64) for _ in lens]
+        caches_b = [KVCache(1, 2, 4, 64) for _ in lens]
+        for i, n in enumerate(lens):
+            x = rng.standard_normal((n, 16))
+            attn.forward(x, 0, caches_a[i], np.arange(n))
+            attn.forward(x, 0, caches_b[i], np.arange(n))
+        xb = rng.standard_normal((len(lens), 16))
+        batch = attn.decode_batch(xb, 0, caches_a, np.asarray(lens))
+        single = np.vstack([
+            attn.forward(xb[i : i + 1], 0, caches_b[i], np.asarray([lens[i]]))
+            for i in range(len(lens))
+        ])
+        assert np.allclose(batch, single, atol=1e-12)
+        for ca, cb in zip(caches_a, caches_b):
+            ka, va = ca.view(0)
+            kb, vb = cb.view(0)
+            assert np.allclose(ka, kb, atol=1e-12) and np.allclose(va, vb, atol=1e-12)
+
+    def test_stacked_qkv_layout_cached(self):
+        rng = np.random.default_rng(4)
+        attn = CausalSelfAttention(16, 4, rng, max_positions=16)
+        assert attn.wqkv.flags["C_CONTIGUOUS"]
+        assert np.array_equal(
+            attn.wqkv, np.concatenate([attn.wq, attn.wk, attn.wv], axis=1))
 
 
 class TestTinyTransformer:

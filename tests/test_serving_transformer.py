@@ -1,0 +1,159 @@
+"""Real-transformer serving: the batched decode fast path must be
+token-identical to the sequential per-sequence loop — across ragged prompt
+lengths, per-sequence early exits with KV hidden-state propagation, and
+sequences retiring mid-batch — while measuring wall-clock throughput."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import SpecEEConfig, get_model_spec
+from repro.eval.harness import build_transformer_rig
+from repro.hardware.ledger import Event
+from repro.nn.transformer import TransformerConfig
+from repro.serving import Request
+
+SMALL_CFG = TransformerConfig(vocab_size=128, dim=32, n_layers=4, n_heads=4,
+                              intermediate_dim=48, max_positions=256)
+
+# Unverified-exit ablation with a permissive threshold: the untrained-oracle
+# draft rarely survives verification on random weights, so this config is how
+# the tests exercise *frequent* per-sequence early exits deterministically.
+EXITY_CFG = SpecEEConfig(exit_threshold=0.35, min_exit_layer=1,
+                         scheduler="all", verify_on_exit=False)
+
+
+@pytest.fixture(scope="module")
+def rig():
+    return build_transformer_rig(SMALL_CFG, seed=0, max_tokens=256)
+
+
+def ragged_requests():
+    """Ragged prompt lengths AND ragged token budgets (mid-batch retirement)."""
+    lengths = [6, 3, 9, 4, 7, 5]
+    budgets = [10, 4, 12, 7, 5, 9]
+    return [Request(i, [(i * 11 + j) % 128 + 1 for j in range(n)], b)
+            for i, (n, b) in enumerate(zip(lengths, budgets))]
+
+
+def run_serving(rig, batched, config=None, capacity=4):
+    serving = rig.serving_engine(batch_capacity=capacity, kv_blocks=256,
+                                 block_size=8, batched=batched, config=config)
+    return serving.run(ragged_requests())
+
+
+class TestBatchedIdentity:
+    def test_batched_tokens_identical_to_sequential(self, rig):
+        batched = run_serving(rig, batched=True)
+        sequential = run_serving(rig, batched=False)
+        assert batched.batched_decode and not sequential.batched_decode
+        assert {i: r.tokens for i, r in batched.results.items()} == \
+               {i: r.tokens for i, r in sequential.results.items()}
+        assert {i: r.exit_layers for i, r in batched.results.items()} == \
+               {i: r.exit_layers for i, r in sequential.results.items()}
+
+    def test_identity_with_frequent_early_exits(self, rig):
+        batched = run_serving(rig, batched=True, config=EXITY_CFG)
+        sequential = run_serving(rig, batched=False, config=EXITY_CFG)
+        n_early = sum(sum(r.early_exit for r in res.records)
+                      for res in batched.results.values())
+        assert n_early >= 5, "config must actually trigger early exits"
+        exits = {l for res in batched.results.values() for l in res.exit_layers}
+        assert len(exits) > 1, "exits must be ragged across the layer range"
+        assert {i: r.tokens for i, r in batched.results.items()} == \
+               {i: r.tokens for i, r in sequential.results.items()}
+        assert {i: r.exit_layers for i, r in batched.results.items()} == \
+               {i: r.exit_layers for i, r in sequential.results.items()}
+
+    def test_identity_across_capacities(self, rig):
+        """Admission order changes with capacity, tokens must not."""
+        small = run_serving(rig, batched=True, config=EXITY_CFG, capacity=2)
+        large = run_serving(rig, batched=True, config=EXITY_CFG, capacity=6)
+        assert {i: r.tokens for i, r in small.results.items()} == \
+               {i: r.tokens for i, r in large.results.items()}
+
+    def test_ledgers_identical_to_sequential(self, rig):
+        batched = run_serving(rig, batched=True, config=EXITY_CFG)
+        sequential = run_serving(rig, batched=False, config=EXITY_CFG)
+        for kind in (Event.DECODER_LAYER, Event.LM_HEAD_SLICE, Event.PREDICTOR,
+                     Event.LM_HEAD_FULL, Event.KV_FILL):
+            assert batched.sequential_ledger.calls(kind) == \
+                   sequential.sequential_ledger.calls(kind), kind
+
+    def test_early_exit_kv_propagation_keeps_caches_rectangular(self, rig):
+        """Early exits must leave every (sequence, layer) cache rectangular:
+        hidden-state propagation fills the skipped layers' KV slots."""
+        engine = rig.specee_engine("all", EXITY_CFG)
+        factories = [rig.make_scheduler("all", EXITY_CFG) for _ in range(3)]
+        pairs = [engine.prefill([(i * 5 + j) % 128 + 1 for j in range(3 + i)])
+                 for i in range(3)]
+        states = [s for s, _ in pairs]
+        results = [r for _, r in pairs]
+        for _ in range(6):
+            engine.step_batch(states, results, factories)
+        assert any(r.early_exit for res in results for r in res.records)
+        for state in states:
+            for layer in range(engine.model.n_layers):
+                assert state.cache.length(layer) == len(state.context)
+
+
+class TestWallClockReport:
+    def test_measured_throughput_present(self, rig):
+        report = run_serving(rig, batched=True)
+        assert report.wall_time_s > 0.0
+        assert np.isfinite(report.measured_tps) and report.measured_tps > 0.0
+
+    def test_modelled_numbers_still_priced(self, rig):
+        report = run_serving(rig, batched=True)
+        priced = report.priced_speedup(get_model_spec("llama2-7b"),
+                                       "a100-80g", "vllm")
+        assert priced["serving_tps"] > 0 and priced["sequential_tps"] > 0
+
+    def test_batch_decoder_layer_events_emitted(self, rig):
+        """The serving ledger still rebatches per-tick layer runs."""
+        report = run_serving(rig, batched=True)
+        assert report.serving_ledger.calls(Event.BATCH_DECODER_LAYER) > 0
+        assert report.serving_ledger.units(Event.BATCH_DECODER_LAYER) == \
+               report.sequential_ledger.calls(Event.DECODER_LAYER)
+
+
+class TestSchedulerIsolation:
+    def test_per_sequence_online_history_isolated(self, rig):
+        """Two-level/online schedulers keep per-sequence exit history, so the
+        batched run must also match sequential under an online scheduler."""
+        cfg = SpecEEConfig(exit_threshold=0.35, min_exit_layer=1,
+                           scheduler="online", verify_on_exit=False)
+        reports = {}
+        for batched in (True, False):
+            serving = rig.serving_engine(scheduler_kind="online",
+                                         batch_capacity=4, kv_blocks=256,
+                                         block_size=8, batched=batched,
+                                         config=cfg)
+            reports[batched] = serving.run(ragged_requests())
+        assert {i: r.tokens for i, r in reports[True].results.items()} == \
+               {i: r.tokens for i, r in reports[False].results.items()}
+
+
+class TestTransformerServeCli:
+    def test_serve_transformer_backend(self, capsys):
+        assert main(["serve", "--backend", "transformer", "--requests", "3",
+                     "--max-new-tokens", "6", "--batch-capacity", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "transformer backend" in out
+        assert "measured tokens/s (wall-clock)" in out
+        assert "batched decode" in out
+
+    def test_transformer_rejects_sharding(self, capsys):
+        assert main(["serve", "--backend", "transformer", "--tp", "2"]) == 2
+        assert "--tp/--pp" in capsys.readouterr().err
+
+    def test_transformer_rejects_trace(self, capsys):
+        assert main(["serve", "--backend", "transformer",
+                     "--trace", "poisson"]) == 2
+        assert "closed-batch" in capsys.readouterr().err
+
+    def test_synthetic_backend_unchanged_default(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.backend == "synthetic"
