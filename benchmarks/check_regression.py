@@ -59,6 +59,10 @@ GATES = {
         # whereas absolute tok/s swings with the host and stays informational.
         WallClock("gates.b16_speedup"),
     ],
+    "BENCH_router_goodput.json": [
+        Modelled("gates.edf_exit_aware_goodput"),
+        Modelled("gates.goodput_gain"),
+    ],
 }
 
 
@@ -69,6 +73,24 @@ def lookup(blob: dict, path: str):
             raise KeyError(f"metric {path!r} missing")
         node = node[key]
     return float(node)
+
+
+def leaf_paths(blob, prefix: str = ""):
+    """Every dotted path to a scalar leaf in a nested metrics dict."""
+    if isinstance(blob, dict):
+        for key, value in blob.items():
+            yield from leaf_paths(value, f"{prefix}{key}.")
+    else:
+        yield prefix[:-1]
+
+
+def has_path(blob: dict, path: str) -> bool:
+    node = blob
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return False
+        node = node[key]
+    return True
 
 
 def check_file(current_path: str, tolerance: float | None) -> list[str]:
@@ -83,10 +105,28 @@ def check_file(current_path: str, tolerance: float | None) -> list[str]:
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     failures = []
+    # A baseline metric the fresh report no longer produces is a hard
+    # failure, not a silent skip: a renamed or dropped key would otherwise
+    # un-gate itself (the gated paths below would only catch gated keys,
+    # and informational keys would vanish without a trace).
+    missing = sorted(path for path in leaf_paths(baseline)
+                     if not has_path(current, path))
+    if missing:
+        failures.append(
+            f"{name}: {len(missing)} baseline metric(s) missing from the "
+            f"fresh report — regenerate the baseline or restore the keys: "
+            + ", ".join(missing))
+        for path in missing:
+            print(f"  [FAIL] {name}:{path}  present in baseline, missing "
+                  "from the fresh report")
     for gate in GATES[name]:
         path = gate.path
-        base = lookup(baseline, path)
-        cur = lookup(current, path)
+        try:
+            base = lookup(baseline, path)
+            cur = lookup(current, path)
+        except KeyError as exc:
+            failures.append(f"{name}:{path} not comparable: {exc}")
+            continue
         gate_tolerance = gate.tolerance if tolerance is None else tolerance
         floor = base * (1.0 - gate_tolerance)
         status = "OK " if cur >= floor else "FAIL"

@@ -1,0 +1,61 @@
+"""Fleet goodput walkthrough: 4 replicas, closed-loop clients, policy sweep.
+
+Drives one closed-loop workload (24 think-time clients, 3 rounds each)
+through a 4-replica data-parallel fleet under every routing x scheduling
+policy combination and prints the goodput comparison — tokens that met
+their SLO per modelled second, the metric deadline-aware scheduling and
+exit-aware routing exist to move.  Per-request outputs are token-identical
+across every configuration; only cost and timing move.
+
+Run:  PYTHONPATH=src python examples/fleet_goodput.py
+"""
+
+from repro import build_rig
+from repro.serving import ClosedLoopClients, ROUTING_POLICIES, SCHEDULING_POLICIES
+
+N_REPLICAS = 4
+FLEET = dict(batch_capacity=4, kv_blocks=24, block_size=4,
+             chunk_prefill_tokens=16)
+
+
+def make_clients(rig, per_token_s: float) -> ClosedLoopClients:
+    # 24 impatient clients against 16 batch slots: the closed loop
+    # self-throttles offered load, so deadline pressure comes from tight
+    # SLOs and think times short relative to service, not from a fixed
+    # arrival rate.
+    return ClosedLoopClients(
+        24, 3, rig.model.vocab_size, think_time_s=0.01, seed=7,
+        prompt_len_range=(8, 48), max_new_tokens_range=(16, 48),
+        slo_scale=2.0, per_token_s=per_token_s,
+    )
+
+
+def main() -> None:
+    rig = build_rig("llama2-7b", train_prompts=6, train_tokens=30,
+                    predictor_hidden=128, epochs=10)
+    print(f"{N_REPLICAS}-replica fleet, 24 closed-loop clients x 3 rounds "
+          f"(llama2-7b @ a100-80g/vllm, modelled clock)\n")
+    header = f"{'scheduling':>14} {'routing':>14} {'goodput':>9} {'tput':>8} {'slo':>5} {'per-replica':>12}"
+    print(header)
+    print("-" * len(header))
+    reference = None
+    for sched in sorted(SCHEDULING_POLICIES):
+        for route in sorted(ROUTING_POLICIES):
+            fleet = rig.router_fleet(N_REPLICAS, route=route,
+                                     scheduling=sched, **FLEET)
+            per_token_s = fleet.replicas[0].latency.full_depth_token_time()
+            report = fleet.run(make_clients(rig, per_token_s))
+            tokens = {i: r.tokens for i, r in report.results.items()}
+            if reference is None:
+                reference = tokens
+            assert tokens == reference, "policies must never change tokens"
+            counts = "/".join(str(c) for c in report.replica_request_counts)
+            print(f"{sched:>14} {route:>14} {report.goodput_tps:9.1f} "
+                  f"{report.throughput_tps:8.1f} {report.slo_attainment:5.0%} "
+                  f"{counts:>12}")
+    print("\ngoodput counts only tokens of requests that met their deadline;")
+    print("all configurations produced token-identical per-request outputs.")
+
+
+if __name__ == "__main__":
+    main()

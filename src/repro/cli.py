@@ -17,9 +17,11 @@ import time
 from typing import IO, List, Optional
 
 from repro.config import MODELS, get_model_spec
-from repro.distributed.cluster import LINKS, make_cluster
+from repro.distributed.cluster import LINKS, make_cluster, make_replica_clusters
 from repro.experiments import REGISTRY
 from repro.hardware.devices import DEVICES
+from repro.serving.router import ROUTING_POLICIES
+from repro.serving.scheduler import SCHEDULING_POLICIES
 from repro.utils.tables import render_table
 
 __all__ = ["main", "build_parser"]
@@ -79,6 +81,23 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["auto", "swap", "recompute", "never"])
     serve.add_argument("--chunk-prefill", type=int, default=32,
                        help="prefill tokens per tick (0 = unchunked, monopolising)")
+    serve.add_argument("--sched", default="fifo_priority",
+                       choices=sorted(SCHEDULING_POLICIES),
+                       help="async scheduling policy: service order and "
+                            "preemption-victim selection")
+    # Data-parallel fleet routing (replicas > 1 or closed-loop clients).
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="data-parallel replica count (> 1 routes through "
+                            "the fleet router)")
+    serve.add_argument("--route", default="round_robin",
+                       choices=sorted(ROUTING_POLICIES),
+                       help="fleet routing policy")
+    serve.add_argument("--clients", default="open",
+                       help="'open' (trace arrivals) or 'closed:M' "
+                            "(M closed-loop clients with think time)")
+    serve.add_argument("--think-time", type=float, default=0.05,
+                       help="mean closed-loop client think time, modelled "
+                            "seconds")
     # Multi-device sharding (modelled cluster; 1/1 = single device).
     serve.add_argument("--tp", type=int, default=1,
                        help="tensor-parallel degree (devices per layer shard)")
@@ -148,6 +167,109 @@ def _cluster_from_args(args):
                         tp_link=args.tp_link, pp_link=args.pp_link)
 
 
+def _parse_clients(spec: str) -> Optional[int]:
+    """Client count from a ``--clients`` spec: None for 'open', M for
+    'closed:M'."""
+    if spec == "open":
+        return None
+    if spec.startswith("closed:"):
+        try:
+            n_clients = int(spec.split(":", 1)[1])
+        except ValueError:
+            n_clients = 0
+        if n_clients >= 1:
+            return n_clients
+    raise ValueError(f"--clients must be 'open' or 'closed:M', got {spec!r}")
+
+
+def _trace_kwargs(args, rig, per_token_s: float) -> dict:
+    """Workload knobs shared by the open-loop traces and closed-loop
+    clients; deadlines scale from the latency model pricing the run."""
+    return dict(
+        vocab_size=rig.model.vocab_size, slo_scale=args.slo_scale,
+        per_token_s=per_token_s, seed=args.seed + 7,
+        max_new_tokens_range=(max(args.max_new_tokens // 2, 1),
+                              args.max_new_tokens),
+    )
+
+
+def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
+    """Data-parallel fleet serving: replica router, goodput accounting."""
+    from repro.serving import ClosedLoopClients, bursty_trace, poisson_trace
+
+    start = time.perf_counter()
+    try:
+        n_clients = _parse_clients(args.clients)
+        if n_clients is None and args.trace == "off":
+            raise ValueError(
+                "fleet serving needs a workload: pass --trace poisson|bursty "
+                "or --clients closed:M")
+        if n_clients is not None and args.trace != "off":
+            raise ValueError(
+                "--clients closed:M and --trace are both workloads; pass one "
+                "(closed-loop clients issue their own arrivals)")
+        if args.tp < 1 or args.pp < 1:
+            raise ValueError(
+                f"--tp/--pp must be >= 1, got tp={args.tp} pp={args.pp}")
+        cluster_factory = None
+        if args.tp * args.pp > 1:
+            # One independent modelled cluster per data-parallel replica.
+            replica_clusters = iter(make_replica_clusters(
+                args.replicas, args.device, tp=args.tp, pp=args.pp,
+                tp_link=args.tp_link, pp_link=args.pp_link))
+            cluster_factory = lambda: next(replica_clusters)
+        fleet = rig.router_fleet(
+            args.replicas, route=args.route, scheduling=args.sched,
+            cluster_factory=cluster_factory,
+            scheduler_kind=args.scheduler, device=args.device,
+            framework=args.framework, batch_capacity=args.batch_capacity,
+            kv_blocks=args.kv_blocks, block_size=args.block_size,
+            admission=args.admission, preemption=args.preemption,
+            chunk_prefill_tokens=args.chunk_prefill or None,
+        )
+        kwargs = _trace_kwargs(
+            args, rig, fleet.replicas[0].latency.full_depth_token_time())
+        if n_clients is not None:
+            # Ceiling: never issue fewer total requests than --requests asks.
+            rounds = max(1, -(-args.requests // n_clients))
+            workload = ClosedLoopClients(
+                n_clients, rounds, think_time_s=args.think_time, **kwargs)
+        elif args.trace == "poisson":
+            workload = poisson_trace(args.requests, args.rate, **kwargs)
+        else:
+            workload = bursty_trace(args.requests, args.burst_size,
+                                    args.burst_gap, **kwargs)
+        report = fleet.run(workload)
+    except (MemoryError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    layers = "/".join(f"{l:.1f}" for l in report.replica_layers_per_token)
+    rows = [
+        ["requests served", len(report.results)],
+        ["requests rejected", len(report.rejected)],
+        ["tokens generated", report.total_tokens],
+        ["fleet makespan (modelled s)", f"{report.makespan_s:.3f}"],
+        ["throughput tokens/s", f"{report.throughput_tps:.1f}"],
+        ["goodput tokens/s (met SLO)", f"{report.goodput_tps:.1f}"],
+        ["SLO attainment", f"{report.slo_attainment:.0%}"],
+        ["mean latency (s)", f"{report.mean_latency_s:.3f}"],
+        ["p95 latency (s)", f"{report.p95_latency_s():.3f}"],
+        ["preemptions", report.preemptions],
+        ["requests per replica",
+         "/".join(str(c) for c in report.replica_request_counts)],
+        ["observed layers/token per replica", layers],
+    ]
+    workload_desc = (f"closed:{n_clients} clients" if n_clients is not None
+                     else f"{args.trace} trace")
+    title = (f"fleet serving: {args.replicas}x {args.model} @ "
+             f"{args.device}/{args.framework}, tp={args.tp} pp={args.pp}, "
+             f"{workload_desc}, route={args.route}, sched={args.sched}")
+    print(render_table(["metric", "value"], rows, title=title), file=out)
+    print(f"[serve completed in {elapsed:.1f}s]", file=out)
+    return 0
+
+
 def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
     """Async trace-driven serving: arrivals, SLOs, preemption, chunking."""
     from repro.serving import bursty_trace, poisson_trace
@@ -160,16 +282,12 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
             kv_blocks=args.kv_blocks, block_size=args.block_size,
             admission=args.admission, preemption=args.preemption,
             chunk_prefill_tokens=args.chunk_prefill or None,
+            scheduling=args.sched,
             cluster=_cluster_from_args(args),
         )
         # Deadlines scale from the same latency model that prices the run.
-        trace_kwargs = dict(
-            vocab_size=rig.model.vocab_size, slo_scale=args.slo_scale,
-            per_token_s=serving.latency.full_depth_token_time(),
-            seed=args.seed + 7,
-            max_new_tokens_range=(max(args.max_new_tokens // 2, 1),
-                                  args.max_new_tokens),
-        )
+        trace_kwargs = _trace_kwargs(
+            args, rig, serving.latency.full_depth_token_time())
         if args.trace == "poisson":
             trace = poisson_trace(args.requests, args.rate, **trace_kwargs)
         else:
@@ -201,7 +319,8 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
     title = (f"async serving: {args.model} @ {args.device}/{args.framework}, "
              f"tp={args.tp} pp={args.pp}, {args.trace} trace, "
              f"{args.admission} admission, "
-             f"{args.preemption} preemption, chunk={args.chunk_prefill}")
+             f"{args.preemption} preemption, chunk={args.chunk_prefill}, "
+             f"sched={args.sched}")
     print(render_table(["metric", "value"], rows, title=title), file=out)
     print(f"[serve completed in {elapsed:.1f}s]", file=out)
     return 0
@@ -212,20 +331,28 @@ def _cmd_serve(args, out: IO[str]) -> int:
     from repro.eval.harness import build_rig, build_transformer_rig
     from repro.serving import Request
 
+    fleet_mode = args.replicas > 1 or args.clients != "open"
+    if args.replicas < 1:
+        print(f"serve: --replicas must be >= 1, got {args.replicas}",
+              file=sys.stderr)
+        return 2
     if args.backend == "transformer":
         if args.tp * args.pp != 1:
             print("serve: --backend transformer does not support --tp/--pp yet "
                   "(the sharded path drives the synthetic backend only); "
                   "rerun with --tp 1 --pp 1", file=sys.stderr)
             return 2
-        if args.trace != "off":
+        if args.trace != "off" or fleet_mode:
             print("serve: --backend transformer supports closed-batch serving "
-                  "only; rerun with --trace off", file=sys.stderr)
+                  "only; rerun with --trace off, --replicas 1, --clients open",
+                  file=sys.stderr)
             return 2
         rig = build_transformer_rig(seed=args.seed)
     else:
         rig = build_rig(args.model, seed=args.seed, train_prompts=6, train_tokens=30,
                         predictor_hidden=128, epochs=10)
+    if fleet_mode:
+        return _cmd_serve_fleet(args, rig, out)
     if args.trace != "off":
         return _cmd_serve_trace(args, rig, out)
     start = time.perf_counter()

@@ -17,6 +17,7 @@ from repro.distributed.cluster import (
     LinkSpec,
     get_link,
     make_cluster,
+    make_replica_clusters,
 )
 from repro.distributed.latency import PIPELINED_EVENTS, ClusterLatencyModel
 from repro.distributed.paged import ShardedPagedKV
@@ -36,6 +37,7 @@ __all__ = [
     "ShardedPagedKV",
     "get_link",
     "make_cluster",
+    "make_replica_clusters",
     "record_decode_batches",
     "record_prefill_allreduce",
     "record_tick_bubble",

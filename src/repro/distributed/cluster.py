@@ -21,7 +21,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.hardware.devices import DeviceSpec, get_device
 
-__all__ = ["LinkSpec", "LINKS", "get_link", "ClusterSpec", "make_cluster"]
+__all__ = ["LinkSpec", "LINKS", "get_link", "ClusterSpec", "make_cluster",
+           "make_replica_clusters"]
 
 
 @dataclass(frozen=True)
@@ -176,3 +177,29 @@ def make_cluster(
         devices=tuple(spec for _ in range(tp * pp)), tp=tp, pp=pp,
         tp_link=tpl, pp_link=ppl, micro_batches=micro_batches,
     )
+
+
+def make_replica_clusters(
+    n_replicas: int,
+    device: DeviceSpec | str = "a100-80g",
+    tp: int = 1,
+    pp: int = 1,
+    tp_link: LinkSpec | str = "nvlink",
+    pp_link: LinkSpec | str = "pcie4",
+    micro_batches: Optional[int] = None,
+) -> List[Optional[ClusterSpec]]:
+    """One independent ``tp x pp`` cluster per data-parallel replica.
+
+    The fleet-tier convenience for
+    :class:`~repro.serving.router.ServingRouter`: each replica of a
+    data-parallel fleet owns its own modelled shard group, so the list holds
+    ``n_replicas`` *distinct* :class:`ClusterSpec` objects (``None`` entries
+    when ``tp * pp == 1`` — a single-device replica carries no cluster).
+    """
+    if n_replicas < 1:
+        raise ValueError("n_replicas must be >= 1")
+    if tp * pp == 1:
+        return [None] * n_replicas
+    return [make_cluster(device, tp=tp, pp=pp, tp_link=tp_link,
+                         pp_link=pp_link, micro_batches=micro_batches)
+            for _ in range(n_replicas)]

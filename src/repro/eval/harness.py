@@ -180,6 +180,38 @@ class Rig:
             engine, get_model_spec(self.model_name), device=device,
             framework=framework, scheduler_factory=factory, **serving_kwargs)
 
+    def router_fleet(
+        self,
+        n_replicas: int,
+        route: str = "round_robin",
+        scheduling: str = "fifo_priority",
+        cluster_factory: Optional[Callable[[], object]] = None,
+        **async_kwargs,
+    ) -> "ServingRouter":
+        """Data-parallel fleet: ``n_replicas`` async serving replicas behind
+        a :class:`~repro.serving.router.ServingRouter`.
+
+        Every replica is built through :meth:`async_serving_engine` (its own
+        KV pool, ledger and scheduling-policy instance; SpecEE assets are
+        shared, so per-request tokens match a single-replica run).
+        ``cluster_factory`` builds one fresh
+        :class:`~repro.distributed.ClusterSpec` per replica for a fleet of
+        modelled tp x pp shards.
+        """
+        from repro.serving.router import ServingRouter
+
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        replicas = [
+            self.async_serving_engine(
+                scheduling=scheduling,
+                cluster=cluster_factory() if cluster_factory else None,
+                **async_kwargs,
+            )
+            for _ in range(n_replicas)
+        ]
+        return ServingRouter(replicas, route=route)
+
     def fresh_model(self) -> "LayeredLM":
         """A new model instance with identical semantics (independent state)."""
         if self.model_factory is not None:

@@ -62,8 +62,6 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     rng = child_rng(seed, "fig10-random")
     rows_b: List[List[object]] = []
     rows_d: List[List[object]] = []
-    base = price(_fixed_run(rig, range(2, n_layers - 1), sc),
-                 "llama2-7b", "a100-80g", "hf")
     dense_run = evaluate("dense", rig, "mt_bench", sc, seed)
     dense_tps = price(dense_run, "llama2-7b", "a100-80g", "hf").tokens_per_second
 

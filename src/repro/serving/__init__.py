@@ -1,4 +1,4 @@
-"""Serving substrate: paged KV cache plus the batching/async engines."""
+"""Serving substrate: paged KV cache plus the batching/async/fleet engines."""
 
 from repro.serving.async_engine import (
     AsyncRequestMetrics,
@@ -9,8 +9,29 @@ from repro.serving.async_engine import (
 from repro.serving.engine import RequestMetrics, ServingEngine, ServingReport
 from repro.serving.paged_kv import BlockAllocator, PagedKVCache
 from repro.serving.request import AdmissionPolicy, Request, RequestQueue
-from repro.serving.scheduler import ContinuousBatchScheduler, SequenceSlot, TickOutcome
-from repro.serving.workloads import ArrivalTrace, bursty_trace, poisson_trace
+from repro.serving.router import (
+    ROUTING_POLICIES,
+    RoutingPolicy,
+    ServingFleetReport,
+    ServingRouter,
+    make_routing_policy,
+)
+from repro.serving.scheduler import (
+    SCHEDULING_POLICIES,
+    ContinuousBatchScheduler,
+    EdfPolicy,
+    FifoPriorityPolicy,
+    SchedulingPolicy,
+    SequenceSlot,
+    TickOutcome,
+    make_scheduling_policy,
+)
+from repro.serving.workloads import (
+    ArrivalTrace,
+    ClosedLoopClients,
+    bursty_trace,
+    poisson_trace,
+)
 
 __all__ = [
     "AdmissionPolicy",
@@ -20,15 +41,26 @@ __all__ = [
     "AsyncServingEngine",
     "AsyncServingReport",
     "BlockAllocator",
+    "ClosedLoopClients",
     "ContinuousBatchScheduler",
+    "EdfPolicy",
+    "FifoPriorityPolicy",
     "PagedKVCache",
+    "ROUTING_POLICIES",
     "Request",
     "RequestMetrics",
     "RequestQueue",
+    "RoutingPolicy",
+    "SCHEDULING_POLICIES",
+    "SchedulingPolicy",
     "SequenceSlot",
     "ServingEngine",
+    "ServingFleetReport",
     "ServingReport",
+    "ServingRouter",
     "TickOutcome",
     "bursty_trace",
+    "make_routing_policy",
+    "make_scheduling_policy",
     "poisson_trace",
 ]

@@ -40,10 +40,25 @@ shards plus ``ALLREDUCE`` collectives, pipeline-stage concurrency plus
 preemption costs are re-priced per owning device.  The modelled clock moves
 differently, so admission/preemption *timing* may differ from the
 single-device run — but per-request tokens never do.
+
+Two orthogonal extension points sit on top of that machinery:
+
+* **Scheduling policies** — every ordering decision (admission order,
+  resume/prefill service order, preemption victim) is delegated to a
+  pluggable :class:`~repro.serving.scheduler.SchedulingPolicy`:
+  ``"fifo_priority"`` keeps the original priority+arrival behavior, and
+  ``"edf"`` serves earliest-deadline-first with an SLO-aware victim picker
+  that preempts the sequence with the most slack.
+* **A stepping API** — :meth:`AsyncServingEngine.run` is a thin loop over
+  :meth:`begin` / :meth:`advance_tick` / :meth:`finish_report`, and
+  :meth:`submit` injects requests mid-run.  This is what lets the
+  data-parallel :class:`~repro.serving.router.ServingRouter` interleave N
+  replicas on one shared time origin and route arrivals online.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -58,6 +73,7 @@ from repro.hardware.ledger import CostLedger, Event
 from repro.model.base import LMState
 from repro.serving.engine import build_paged_cache, default_scheduler_factory
 from repro.serving.request import AdmissionPolicy, Request
+from repro.serving.scheduler import SchedulingPolicy, make_scheduling_policy
 
 __all__ = [
     "AsyncSequence", "AsyncRequestMetrics", "AsyncServingReport",
@@ -100,16 +116,6 @@ class AsyncSequence:
     def decodable(self) -> bool:
         """Whether prefill has finished, i.e. decode ticks may run."""
         return self.prefill_remaining == 0
-
-    def victim_key(self):
-        """Sort ascending; the first entry is evicted first: lowest priority,
-        then latest arrival, then highest id."""
-        return (self.request.priority, -self.request.arrival_s, -self.request_id)
-
-    def service_key(self):
-        """Sort ascending; the first entry is served first: highest priority,
-        then earliest arrival, then lowest id."""
-        return (-self.request.priority, self.request.arrival_s, self.request_id)
 
 
 @dataclass
@@ -206,6 +212,23 @@ class AsyncServingReport:
         return met / total
 
     @property
+    def good_tokens(self) -> int:
+        """Tokens that met their SLO: tokens of every request that finished
+        by its deadline, plus tokens of deadline-free requests (which cannot
+        miss).  Tokens of requests that blew their deadline are wasted work
+        and count for nothing — the difference between throughput and
+        goodput."""
+        return sum(m.tokens for m in self.metrics.values()
+                   if m.met_slo is not False)
+
+    @property
+    def goodput_tps(self) -> float:
+        """Modelled goodput: SLO-meeting tokens over the makespan."""
+        if self.makespan_s <= 0:
+            return float("nan")
+        return self.good_tokens / self.makespan_s
+
+    @property
     def avg_batch_occupancy(self) -> float:
         """Mean decoding sequences per tick."""
         if not self.batch_occupancy:
@@ -245,6 +268,7 @@ class AsyncServingEngine:
         admission: str = "optimistic",
         preemption: str = "auto",
         chunk_prefill_tokens: Optional[int] = 32,
+        scheduling: Union[str, SchedulingPolicy] = "fifo_priority",
         cluster=None,
     ):
         """Build the async server.
@@ -253,6 +277,9 @@ class AsyncServingEngine:
         run: ticks are priced by the cluster model instead of the
         single-``device`` roofline, and the paged cache becomes one pool per
         pipeline stage (``kv_blocks`` blocks on each stage device).
+        ``scheduling`` picks the :class:`SchedulingPolicy` that orders
+        admission/service and selects preemption victims (``"fifo_priority"``
+        or ``"edf"``, or a policy instance).
         """
         if admission not in ADMISSION_MODES:
             raise ValueError(f"admission must be one of {ADMISSION_MODES}")
@@ -282,15 +309,49 @@ class AsyncServingEngine:
         self.admission = admission
         self.preemption = preemption
         self.chunk_prefill_tokens = chunk_prefill_tokens
-        # -- per-run state (reset by run()) --
+        self.scheduling = make_scheduling_policy(scheduling)
+        # Service-rate estimate for deadline slack: starts at the roofline
+        # full-depth token time, replaced by the run's observed tick time
+        # once ticks exist (see _service_estimate_s).
+        self._per_token_s = self.latency.full_depth_token_time()
+        self._service_s = self._per_token_s
+        # -- per-run state (reset by begin()) --
+        self.pending: List[Request] = []  # sorted by arrival, not yet visible
         self.waiting: List[Request] = []  # arrived, not yet admitted
         self.running: List[AsyncSequence] = []
         self.preempted: List[AsyncSequence] = []
+        self.report = AsyncServingReport()
         self.reserved_blocks = 0
         self.step_count = 0
         self.now_s = 0.0
+        self._prompt_tokens = 0
 
     # -- tick phases ---------------------------------------------------------
+    def _service_estimate_s(self) -> float:
+        """Per-token service-time estimate for deadline slack.
+
+        Every running sequence advances one token per tick, so the observed
+        mean tick time *is* the per-token service rate the batch actually
+        delivers — including batching overhead, prefill chunks sharing the
+        tick and preemption traffic, none of which the single-stream roofline
+        estimate sees.  An optimistic estimate makes EDF classify doomed
+        requests as feasible and burn capacity on them (the overload domino
+        effect), so accuracy here is what the goodput win rests on.  Until
+        enough ticks exist, fall back to the roofline full-depth token time.
+        """
+        ticks = self.report.tick_seconds
+        if len(ticks) < 4:
+            return self._per_token_s
+        return float(np.mean(ticks[-16:]))
+
+    def _service_key(self, seq: AsyncSequence):
+        """The scheduling policy's service rank of a live sequence — the one
+        place the slack inputs (clock, rate estimate, tokens still owed) are
+        spelled, so resume and prefill order can never diverge."""
+        return self.scheduling.queue_key(
+            seq.request, self.now_s, self._service_s,
+            remaining=seq.request.max_new_tokens - len(seq.result.tokens))
+
     def _absorb_arrivals(self, pending: List[Request], report: AsyncServingReport) -> None:
         while pending and pending[0].arrival_s <= self.now_s + 1e-12:
             request = pending.pop(0)
@@ -301,15 +362,16 @@ class AsyncServingEngine:
                     report.rejected_with_slo += 1
                 continue
             self.waiting.append(request)
-        self.waiting.sort(key=lambda r: (-r.priority, r.arrival_s, r.request_id))
+        self.waiting.sort(key=lambda r: self.scheduling.queue_key(
+            r, self.now_s, self._service_s))
 
     def _live_count(self) -> int:
         return len(self.running) + len(self.preempted)
 
     def _resume_preempted(self, tick: CostLedger) -> None:
-        """Bring evicted sequences back, highest priority first.  Resume has
+        """Bring evicted sequences back in policy service order.  Resume has
         precedence over fresh admission so preempted work cannot starve."""
-        self.preempted.sort(key=AsyncSequence.service_key)
+        self.preempted.sort(key=self._service_key)
         while self.preempted:
             slot = self.preempted[0]
             tokens = len(slot.result.tokens)
@@ -368,7 +430,7 @@ class AsyncServingEngine:
         """Schedule prefill work for this tick; returns True when the prefill
         monopolised the tick (unchunked mode) and decode must be skipped."""
         prefilling = sorted((s for s in self.running if s.prefill_remaining > 0),
-                            key=AsyncSequence.service_key)
+                            key=self._service_key)
         if not prefilling:
             return False
         n_layers = self.engine.model.n_layers
@@ -428,7 +490,10 @@ class AsyncServingEngine:
                     "enable preemption (swap/recompute/auto) or use "
                     "admission='reserve'"
                 )
-            victims = sorted(runnable, key=AsyncSequence.victim_key)
+            victims = sorted(
+                runnable,
+                key=lambda s: self.scheduling.victim_key(
+                    s, self.now_s, self._service_s))
             if not victims:
                 raise MemoryError(
                     f"KV pool exhausted at step {self.step_count} with no "
@@ -498,13 +563,21 @@ class AsyncServingEngine:
             report.results[slot.request_id] = slot.result
         return finished
 
-    # -- the run loop --------------------------------------------------------
-    def run(self, trace: Sequence[Request]) -> AsyncServingReport:
-        """Serve an arrival trace to completion on the modelled clock."""
-        pending = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
-        report = AsyncServingReport()
+    # -- the stepping API ----------------------------------------------------
+    def begin(self, trace: Sequence[Request]) -> None:
+        """Reset per-run state and load ``trace`` as the pending arrivals.
+
+        The run then proceeds through :meth:`advance_tick` calls until
+        :attr:`has_work` clears (what :meth:`run` does in a loop); a router
+        can interleave those calls across replicas and :meth:`submit` more
+        requests while the run is live.
+        """
+        self.pending = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
+        self.report = AsyncServingReport()
         self.waiting, self.running, self.preempted = [], [], []
         self.reserved_blocks, self.step_count, self.now_s = 0, 0, 0.0
+        self._prompt_tokens = 0
+        self._service_s = self._per_token_s
         # Fresh pool every run: a previous run that died mid-flight (e.g. the
         # preemption="never" MemoryError) must not leak blocks into this one.
         self.cache = build_paged_cache(
@@ -512,61 +585,133 @@ class AsyncServingEngine:
             self.cache.n_kv_heads,
             n_stages=self.cluster.pp if self.cluster is not None else 1,
         )
-        prompt_tokens = 0
 
-        while pending or self.waiting or self.running or self.preempted:
-            if not (self.waiting or self.running or self.preempted):
-                self.now_s = max(self.now_s, pending[0].arrival_s)  # idle jump
-            tick = CostLedger()
-            self._absorb_arrivals(pending, report)
-            if not (self.waiting or self.running or self.preempted):
-                continue  # every arrival in this window was rejected
-            self._resume_preempted(tick)
-            admitted = self._admit(report)
-            prompt_tokens += sum(len(s.request.prompt) for s in admitted)
-            suppressed = self._prefill(tick)
-            depths: List[int] = []
-            if not suppressed:
-                runnable = [s for s in self.running if s.decodable and not s.done]
-                self._ensure_decode_blocks(runnable, tick)
-                depths = self._decode(runnable, tick)
-            report.batch_occupancy.append(len(depths))
-            report.peak_kv_blocks = max(report.peak_kv_blocks, self.cache.blocks_in_use())
-            report.peak_host_tokens = max(report.peak_host_tokens, self.cache.host_tokens())
-            finished = self._retire(report)
+    def submit(self, request: Request) -> None:
+        """Inject ``request`` into the live run (arrival order preserved).
 
-            if self.cluster is not None:
-                self._record_sharded_events(tick, depths)
-            tick.steps = 1
-            dt = self.latency.price(tick).total_s
-            self.now_s += dt
-            report.tick_seconds.append(dt)
-            report.serving_ledger.merge(tick)
-            for slot in finished:
-                report.metrics[slot.request_id] = AsyncRequestMetrics(
-                    request_id=slot.request_id,
-                    arrival_s=slot.request.arrival_s,
-                    deadline_s=slot.request.deadline_s,
-                    admitted_step=slot.admitted_step,
-                    finished_step=slot.finished_step,
-                    finish_s=self.now_s,
-                    tokens=len(slot.result.tokens),
-                    prompt_tokens=len(slot.request.prompt),
-                    preemptions=slot.preemptions,
-                    swaps=slot.swaps,
-                    recomputes=slot.recomputes,
-                    swapped_tokens=slot.swapped_tokens,
-                )
-                report.preemptions += slot.preemptions
-                report.swaps += slot.swaps
-                report.recomputes += slot.recomputes
-            self.step_count += 1
+        The router's delivery path: a routed request joins this replica's
+        pending arrivals and becomes visible at its own ``arrival_s`` — or at
+        the replica's current clock if that has already passed."""
+        bisect.insort(self.pending, request,
+                      key=lambda r: (r.arrival_s, r.request_id))
 
+    @property
+    def has_work(self) -> bool:
+        """Whether any request is pending, waiting, running or preempted."""
+        return bool(self.pending or self.waiting or self.running
+                    or self.preempted)
+
+    def advance_tick(self) -> List[AsyncRequestMetrics]:
+        """Run one scheduler tick on the modelled clock.
+
+        Returns the metrics of every request that finished this tick (the
+        router's closed-loop clients hook); an idle tick that only absorbed
+        rejected arrivals prices nothing and returns ``[]``.
+        """
+        report = self.report
+        self._service_s = self._service_estimate_s()
+        if not (self.waiting or self.running or self.preempted):
+            if not self.pending:
+                return []
+            self.now_s = max(self.now_s, self.pending[0].arrival_s)  # idle jump
+        tick = CostLedger()
+        self._absorb_arrivals(self.pending, report)
+        if not (self.waiting or self.running or self.preempted):
+            return []  # every arrival in this window was rejected
+        self._resume_preempted(tick)
+        admitted = self._admit(report)
+        self._prompt_tokens += sum(len(s.request.prompt) for s in admitted)
+        suppressed = self._prefill(tick)
+        depths: List[int] = []
+        if not suppressed:
+            runnable = [s for s in self.running if s.decodable and not s.done]
+            self._ensure_decode_blocks(runnable, tick)
+            depths = self._decode(runnable, tick)
+        report.batch_occupancy.append(len(depths))
+        report.peak_kv_blocks = max(report.peak_kv_blocks, self.cache.blocks_in_use())
+        report.peak_host_tokens = max(report.peak_host_tokens, self.cache.host_tokens())
+        finished = self._retire(report)
+
+        if self.cluster is not None:
+            self._record_sharded_events(tick, depths)
+        tick.steps = 1
+        dt = self.latency.price(tick).total_s
+        self.now_s += dt
+        report.tick_seconds.append(dt)
+        report.serving_ledger.merge(tick)
+        metrics: List[AsyncRequestMetrics] = []
+        for slot in finished:
+            metric = AsyncRequestMetrics(
+                request_id=slot.request_id,
+                arrival_s=slot.request.arrival_s,
+                deadline_s=slot.request.deadline_s,
+                admitted_step=slot.admitted_step,
+                finished_step=slot.finished_step,
+                finish_s=self.now_s,
+                tokens=len(slot.result.tokens),
+                prompt_tokens=len(slot.request.prompt),
+                preemptions=slot.preemptions,
+                swaps=slot.swaps,
+                recomputes=slot.recomputes,
+                swapped_tokens=slot.swapped_tokens,
+            )
+            report.metrics[slot.request_id] = metric
+            metrics.append(metric)
+            report.preemptions += slot.preemptions
+            report.swaps += slot.swaps
+            report.recomputes += slot.recomputes
+        self.step_count += 1
+        return metrics
+
+    def finish_report(self) -> AsyncServingReport:
+        """Seal and return the report for the ticks run since :meth:`begin`."""
+        report = self.report
         report.n_steps = self.step_count
         report.makespan_s = self.now_s
         report.serving_ledger.steps = self.step_count
-        report.serving_ledger.prompt_tokens = prompt_tokens
+        report.serving_ledger.prompt_tokens = self._prompt_tokens
         for result in report.results.values():
             report.sequential_ledger.merge(result.ledger)
         report.sequential_time_s = self.latency.price(report.sequential_ledger).total_s
         return report
+
+    def run(self, trace: Sequence[Request]) -> AsyncServingReport:
+        """Serve an arrival trace to completion on the modelled clock."""
+        self.begin(trace)
+        while self.has_work:
+            self.advance_tick()
+        return self.finish_report()
+
+    # -- fleet-facing load/exit statistics ------------------------------------
+    def backlog_tokens(self) -> int:
+        """Decode tokens still owed to every pending/waiting/live request —
+        the queue-depth signal routing policies balance on."""
+        owed = sum(r.max_new_tokens for r in self.pending)
+        owed += sum(r.max_new_tokens for r in self.waiting)
+        owed += sum(s.request.max_new_tokens - len(s.result.tokens)
+                    for s in self.running)
+        owed += sum(s.request.max_new_tokens - len(s.result.tokens)
+                    for s in self.preempted)
+        return owed
+
+    def kv_load_blocks(self) -> int:
+        """Paged-KV pressure: blocks in use plus the worst-case block need of
+        every request queued ahead of admission."""
+        queued = sum(self.policy.blocks_needed(r)
+                     for r in self.pending + self.waiting)
+        return self.cache.blocks_in_use() + queued
+
+    def observed_layers_per_token(self) -> float:
+        """Mean executed decoder layers per generated token so far this run
+        (full depth until the first token lands) — the ledger-observed
+        early-exit statistic ``exit_aware`` routing weighs replicas by."""
+        ledger = self.report.serving_ledger
+        if ledger.tokens_generated == 0:
+            return float(self.engine.model.n_layers)
+        return ledger.units(Event.BATCH_DECODER_LAYER) / ledger.tokens_generated
+
+    def observed_exit_rate(self) -> float:
+        """Fraction of the layer stack early exit skips, averaged per token:
+        0 = every token runs full depth, higher = more/earlier exits."""
+        return 1.0 - (self.observed_layers_per_token()
+                      / self.engine.model.n_layers)

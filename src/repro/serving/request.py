@@ -24,8 +24,11 @@ class Request:
     The trailing fields matter only to the async trace-driven server:
     ``arrival_s`` is when the request becomes visible (modelled seconds),
     ``slo_s`` an optional completion deadline relative to arrival, and
-    ``priority`` breaks preemption/admission ties (higher = more important;
-    the lowest-priority, latest-arrived running sequence is evicted first).
+    ``priority`` breaks preemption/admission ties under the default
+    ``fifo_priority`` scheduling policy (higher = more important; the
+    lowest-priority, latest-arrived running sequence is evicted first).
+    ``client_id`` identifies the issuing closed-loop client, or None for
+    open-loop trace arrivals.
     """
 
     request_id: int
@@ -35,6 +38,7 @@ class Request:
     arrival_s: float = 0.0
     slo_s: Optional[float] = None
     priority: int = 0
+    client_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         """Normalise token lists and validate budgets/timestamps."""

@@ -1,0 +1,371 @@
+"""Data-parallel replica routing with goodput-oriented fleet accounting.
+
+:class:`ServingRouter` fans one workload across N
+:class:`~repro.serving.async_engine.AsyncServingEngine` replicas — each with
+its own KV pool, cost ledger and (optionally) its own modelled
+:class:`~repro.distributed.ClusterSpec` — on one shared time origin.  The
+router is a discrete-event loop over the engines' stepping API: it always
+advances the busy replica whose next event is earliest, and it routes an
+arrival the moment no busy replica could still do work before that arrival's
+timestamp.  Routing decisions therefore see every replica's state *as of the
+arrival time*, which is what makes load- and exit-aware policies meaningful.
+
+Three routing policies ship (registry :data:`ROUTING_POLICIES`):
+
+* ``round_robin`` — rotate assignments; the baseline that ignores state.
+* ``least_kv_load`` — send the request to the replica with the least paged-KV
+  pressure (blocks in use plus the worst-case need of its queued requests).
+* ``exit_aware`` — weight each replica's queued decode tokens by its
+  *observed* early-exit rate from the serving ledger (mean executed layers
+  per token so far) and send the request to the replica with the least
+  estimated layer-work.  Exit-rate variance across requests is exactly why
+  naive balancing leaves throughput on the table: a replica whose current
+  mix exits early drains its backlog faster than its queue depth suggests.
+
+Workloads may be open-loop (an :class:`~repro.serving.workloads.ArrivalTrace`
+or any request sequence) or closed-loop
+(:class:`~repro.serving.workloads.ClosedLoopClients`): on each completion the
+router reports the finish time back to the issuing client, which responds
+with its next request one think-time gap later.
+
+The fleet-level outcome is a :class:`ServingFleetReport`: per-replica
+:class:`~repro.serving.async_engine.AsyncServingReport` ledgers plus
+aggregated SLO attainment and **goodput** — tokens that met their SLO per
+modelled second, the metric EDF scheduling and exit-aware routing are built
+to move.  Routing never changes tokens: each request's decode is
+token-identical to serving the same trace on a single replica.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.serving.async_engine import (
+    AsyncRequestMetrics,
+    AsyncServingEngine,
+    AsyncServingReport,
+)
+from repro.serving.request import Request
+from repro.serving.workloads import ClosedLoopClients
+
+__all__ = [
+    "RoutingPolicy", "RoundRobinRouting", "LeastKVLoadRouting",
+    "ExitAwareRouting", "ROUTING_POLICIES", "make_routing_policy",
+    "ServingFleetReport", "ServingRouter",
+]
+
+
+# ---------------------------------------------------------------------------
+# routing policies
+# ---------------------------------------------------------------------------
+class RoutingPolicy:
+    """Picks the replica index a routed request is assigned to.
+
+    ``choose`` receives the full replica list plus the candidate indices
+    whose KV pools can ever fit the request (the router pre-filters
+    oversized pools), and must return one of the candidates.
+    """
+
+    name = "base"
+
+    def choose(self, replicas: Sequence[AsyncServingEngine], request: Request,
+               candidates: Sequence[int]) -> int:
+        """Return the chosen replica index from ``candidates``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any cross-run state (called at the start of every
+        :meth:`ServingRouter.run`, so repeated runs are reproducible)."""
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Rotate assignments across replicas, skipping non-candidates."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        """Start the rotation at replica 0."""
+        self._next = 0
+
+    def reset(self) -> None:
+        """Restart the rotation at replica 0."""
+        self._next = 0
+
+    def choose(self, replicas: Sequence[AsyncServingEngine], request: Request,
+               candidates: Sequence[int]) -> int:
+        """The next replica in rotation whose pool fits the request."""
+        allowed = set(candidates)
+        for _ in range(len(replicas)):
+            index = self._next % len(replicas)
+            self._next += 1
+            if index in allowed:
+                return index
+        raise ValueError("no candidate replica to rotate onto")
+
+
+class LeastKVLoadRouting(RoutingPolicy):
+    """Send the request to the replica with the least paged-KV pressure."""
+
+    name = "least_kv_load"
+
+    def choose(self, replicas: Sequence[AsyncServingEngine], request: Request,
+               candidates: Sequence[int]) -> int:
+        """Least ``kv_load_blocks()`` wins; ties break to the lowest index."""
+        return min(candidates, key=lambda i: (replicas[i].kv_load_blocks(), i))
+
+
+class ExitAwareRouting(RoutingPolicy):
+    """Balance estimated layer-work using observed early-exit rates.
+
+    A replica's pending decode tokens are weighted by its ledger-observed
+    mean executed layers per token (full depth until it has served a token),
+    so a replica whose current request mix exits early is credited with the
+    faster drain its exit rate actually buys.
+    """
+
+    name = "exit_aware"
+
+    def choose(self, replicas: Sequence[AsyncServingEngine], request: Request,
+               candidates: Sequence[int]) -> int:
+        """Least estimated queued layer-work wins; ties to the lowest index."""
+        def layer_work(i: int) -> float:
+            replica = replicas[i]
+            return replica.backlog_tokens() * replica.observed_layers_per_token()
+        return min(candidates, key=lambda i: (layer_work(i), i))
+
+
+ROUTING_POLICIES = {
+    RoundRobinRouting.name: RoundRobinRouting,
+    LeastKVLoadRouting.name: LeastKVLoadRouting,
+    ExitAwareRouting.name: ExitAwareRouting,
+}
+
+
+def make_routing_policy(spec: Union[str, RoutingPolicy]) -> RoutingPolicy:
+    """Resolve a policy name (or pass through an instance) to a policy."""
+    if isinstance(spec, RoutingPolicy):
+        return spec
+    if spec not in ROUTING_POLICIES:
+        raise ValueError(
+            f"unknown routing policy {spec!r}; known: {sorted(ROUTING_POLICIES)}")
+    return ROUTING_POLICIES[spec]()
+
+
+# ---------------------------------------------------------------------------
+# fleet report
+# ---------------------------------------------------------------------------
+@dataclass
+class ServingFleetReport:
+    """Outcome of one :meth:`ServingRouter.run` across every replica."""
+
+    replica_reports: List[AsyncServingReport] = field(default_factory=list)
+    assignments: Dict[int, int] = field(default_factory=dict)
+    route: str = ""
+    scheduling: str = ""
+    rejected: Dict[int, str] = field(default_factory=dict)
+    rejected_with_slo: int = 0
+    replica_layers_per_token: List[float] = field(default_factory=list)
+
+    @property
+    def n_replicas(self) -> int:
+        """Fleet width."""
+        return len(self.replica_reports)
+
+    @property
+    def metrics(self) -> Dict[int, AsyncRequestMetrics]:
+        """Per-request metrics merged across every replica."""
+        merged: Dict[int, AsyncRequestMetrics] = {}
+        for report in self.replica_reports:
+            merged.update(report.metrics)
+        return merged
+
+    @property
+    def results(self) -> Dict[int, object]:
+        """Per-request generation results merged across every replica."""
+        merged: Dict[int, object] = {}
+        for report in self.replica_reports:
+            merged.update(report.results)
+        return merged
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens generated fleet-wide."""
+        return sum(r.total_tokens for r in self.replica_reports)
+
+    @property
+    def makespan_s(self) -> float:
+        """Fleet makespan: the latest replica clock (shared time origin)."""
+        if not self.replica_reports:
+            return 0.0
+        return max(r.makespan_s for r in self.replica_reports)
+
+    @property
+    def throughput_tps(self) -> float:
+        """Fleet tokens per modelled second over the fleet makespan."""
+        if self.makespan_s <= 0:
+            return float("nan")
+        return self.total_tokens / self.makespan_s
+
+    @property
+    def good_tokens(self) -> int:
+        """SLO-meeting tokens fleet-wide (see the per-replica report)."""
+        return sum(r.good_tokens for r in self.replica_reports)
+
+    @property
+    def goodput_tps(self) -> float:
+        """Fleet goodput: SLO-meeting tokens per modelled second."""
+        if self.makespan_s <= 0:
+            return float("nan")
+        return self.good_tokens / self.makespan_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of deadline-carrying requests that met their deadline,
+        fleet-wide; router- and replica-rejected requests count as missed."""
+        met = 0
+        total = self.rejected_with_slo
+        total += sum(r.rejected_with_slo for r in self.replica_reports)
+        for metric in self.metrics.values():
+            if metric.deadline_s is None:
+                continue
+            total += 1
+            met += bool(metric.met_slo)
+        if total == 0:
+            return float("nan")
+        return met / total
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end request latency across the fleet."""
+        metrics = self.metrics
+        if not metrics:
+            return float("nan")
+        return float(np.mean([m.latency_s for m in metrics.values()]))
+
+    def p95_latency_s(self) -> float:
+        """95th-percentile end-to-end request latency across the fleet."""
+        metrics = self.metrics
+        if not metrics:
+            return float("nan")
+        return float(np.percentile([m.latency_s for m in metrics.values()], 95))
+
+    @property
+    def replica_request_counts(self) -> List[int]:
+        """Requests routed to each replica (assignment balance)."""
+        counts = [0] * self.n_replicas
+        for index in self.assignments.values():
+            counts[index] += 1
+        return counts
+
+    @property
+    def preemptions(self) -> int:
+        """Total preemptions across every replica."""
+        return sum(r.preemptions for r in self.replica_reports)
+
+
+# ---------------------------------------------------------------------------
+# the router
+# ---------------------------------------------------------------------------
+Workload = Union[Sequence[Request], ClosedLoopClients]
+
+
+class ServingRouter:
+    """Data-parallel front-end over N async serving replicas (module doc)."""
+
+    def __init__(self, replicas: Sequence[AsyncServingEngine],
+                 route: Union[str, RoutingPolicy] = "round_robin"):
+        """Wire the router to its replicas and routing policy."""
+        if not replicas:
+            raise ValueError("a fleet needs at least one replica")
+        self.replicas: List[AsyncServingEngine] = list(replicas)
+        self.routing = make_routing_policy(route)
+
+    # -- event-loop helpers --------------------------------------------------
+    @staticmethod
+    def _arrival_key(request: Request):
+        return (request.arrival_s, request.request_id)
+
+    def _next_event_s(self, replica: AsyncServingEngine) -> float:
+        """When ``replica`` would next make progress: now if it has live
+        work, its earliest pending arrival if it is idle-waiting, +inf if
+        it has nothing at all."""
+        if replica.waiting or replica.running or replica.preempted:
+            return replica.now_s
+        if replica.pending:
+            return max(replica.now_s, replica.pending[0].arrival_s)
+        return float("inf")
+
+    def _candidates(self, request: Request) -> List[int]:
+        """Replicas whose KV pool could ever hold the request."""
+        return [i for i, replica in enumerate(self.replicas)
+                if replica.policy.oversize_reason(request) is None]
+
+    def _route(self, request: Request, report: ServingFleetReport) -> None:
+        candidates = self._candidates(request)
+        if not candidates:
+            reason = self.replicas[0].policy.oversize_reason(request)
+            report.rejected[request.request_id] = (
+                f"no replica can hold it: {reason}")
+            if request.slo_s is not None:
+                report.rejected_with_slo += 1
+            return
+        index = self.routing.choose(self.replicas, request, candidates)
+        if index not in candidates:
+            raise ValueError(
+                f"routing policy {self.routing.name!r} chose replica {index}, "
+                f"not one of the candidates {candidates}")
+        self.replicas[index].submit(request)
+        report.assignments[request.request_id] = index
+
+    # -- the run loop --------------------------------------------------------
+    def run(self, workload: Workload) -> ServingFleetReport:
+        """Serve ``workload`` across the fleet on one shared time origin.
+
+        Open-loop workloads are routed at their fixed arrival timestamps;
+        a :class:`ClosedLoopClients` workload grows online as completions
+        trigger each client's next request.  Oversized requests that no
+        replica pool could ever hold are rejected at the router (and, for a
+        closed-loop client, end that client's session — a rejected request
+        never completes, so nothing would ever trigger the next round).
+        """
+        clients: Optional[ClosedLoopClients] = None
+        if isinstance(workload, ClosedLoopClients):
+            clients = workload
+            queue = sorted(workload.initial_requests(), key=self._arrival_key)
+        else:
+            queue = sorted(workload, key=self._arrival_key)
+        self.routing.reset()
+        for replica in self.replicas:
+            replica.begin([])
+        report = ServingFleetReport(
+            route=self.routing.name,
+            scheduling=self.replicas[0].scheduling.name,
+        )
+
+        while queue or any(r.has_work for r in self.replicas):
+            busy = [r for r in self.replicas if r.has_work]
+            frontier = (min(self._next_event_s(r) for r in busy)
+                        if busy else float("inf"))
+            if queue and queue[0].arrival_s <= frontier + 1e-12:
+                # No busy replica can still act before this arrival: route it
+                # now, with every replica's state current as of arrival time.
+                self._route(queue.pop(0), report)
+                continue
+            replica = min(busy, key=lambda r: (self._next_event_s(r),
+                                               self.replicas.index(r)))
+            finished = replica.advance_tick()
+            if clients is not None:
+                for metric in finished:
+                    nxt = clients.next_request(metric.request_id,
+                                               metric.finish_s)
+                    if nxt is not None:
+                        bisect.insort(queue, nxt, key=self._arrival_key)
+
+        report.replica_reports = [r.finish_report() for r in self.replicas]
+        report.replica_layers_per_token = [
+            r.observed_layers_per_token() for r in self.replicas]
+        return report

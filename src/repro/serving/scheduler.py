@@ -22,7 +22,7 @@ reports those per-layer batch sizes so the serving engine can ledger them as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.core.engine import GenerationResult, SpecEEEngine, StepRecord
 from repro.core.scheduling import Scheduler
@@ -30,7 +30,11 @@ from repro.model.base import LMState
 from repro.serving.paged_kv import PagedKVCache
 from repro.serving.request import AdmissionPolicy, Request, RequestQueue
 
-__all__ = ["SequenceSlot", "TickOutcome", "ContinuousBatchScheduler"]
+__all__ = [
+    "SequenceSlot", "TickOutcome", "ContinuousBatchScheduler",
+    "SchedulingPolicy", "FifoPriorityPolicy", "EdfPolicy",
+    "SCHEDULING_POLICIES", "make_scheduling_policy",
+]
 
 
 @dataclass
@@ -189,3 +193,133 @@ class ContinuousBatchScheduler:
         self._retire(outcome)
         self.step_count += 1
         return outcome
+
+
+# ---------------------------------------------------------------------------
+# Scheduling policies for the async engine (service order + victim selection)
+# ---------------------------------------------------------------------------
+class SchedulingPolicy:
+    """Who is served first, and who is evicted first, in the async engine.
+
+    The :class:`~repro.serving.async_engine.AsyncServingEngine` delegates all
+    of its ordering decisions here: ``queue_key`` ranks waiting requests for
+    admission and preempted/prefilling sequences for service (ascending; the
+    smallest key goes first), and ``victim_key`` ranks runnable sequences for
+    eviction when the KV pool runs dry (ascending; the smallest key is
+    preempted first).  Deadline-aware policies use the engine-supplied
+    modelled clock (``now_s``), full-depth service-rate estimate
+    (``per_token_s``) and decode tokens still owed (``remaining``, the full
+    budget when unknown) to reason about slack.  A sequence object only
+    needs a ``request`` attribute and a ``result.tokens`` list, so policies
+    work on any engine slot type.
+    """
+
+    name = "base"
+
+    def queue_key(self, request: Request, now_s: float = 0.0,
+                  per_token_s: float = 0.0,
+                  remaining: Optional[int] = None) -> Tuple:
+        """Ascending service rank of ``request`` (smallest served first)."""
+        raise NotImplementedError
+
+    def victim_key(self, seq, now_s: float, per_token_s: float) -> Tuple:
+        """Ascending eviction rank of ``seq`` (smallest preempted first)."""
+        raise NotImplementedError
+
+
+class FifoPriorityPolicy(SchedulingPolicy):
+    """PR 2's original ordering: priority first, then arrival order.
+
+    Service goes to the highest-priority, earliest-arrived request; the
+    victim is the lowest-priority, latest-arrived sequence.  Deadlines are
+    ignored entirely — this is the baseline EDF is measured against.
+    """
+
+    name = "fifo_priority"
+
+    def queue_key(self, request: Request, now_s: float = 0.0,
+                  per_token_s: float = 0.0,
+                  remaining: Optional[int] = None) -> Tuple:
+        """Highest priority first, then earliest arrival, then lowest id."""
+        return (-request.priority, request.arrival_s, request.request_id)
+
+    def victim_key(self, seq, now_s: float, per_token_s: float) -> Tuple:
+        """Lowest priority first, then latest arrival, then highest id."""
+        request = seq.request
+        return (request.priority, -request.arrival_s, -request.request_id)
+
+
+class EdfPolicy(SchedulingPolicy):
+    """Earliest-deadline-first service with an SLO-aware victim picker.
+
+    *Service* is deadline-driven: among requests that can still meet their
+    deadline (estimated finish ``now + remaining * per_token_s`` at or
+    before it), the earliest absolute deadline goes first.  Requests whose
+    deadline is already unreachable are *hopeless* — serving them cannot add
+    goodput — so they are pushed behind every feasible request (plain EDF's
+    overload failure mode is exactly that it keeps burning capacity on
+    doomed work, the domino effect).  Deadline-free requests can never miss
+    and queue after the feasible deadline-carriers.
+
+    *Eviction* is the mirror image, most-affordable victim first: sequences
+    without a deadline (infinite slack), then hopeless sequences (their
+    remaining work is wasted either way, most-blown deadline first), then
+    feasible sequences by most slack — the one that can best absorb the
+    delay.  Protecting the least-slack feasible sequences is what turns
+    early-exit throughput into SLO attainment under pressure.
+    """
+
+    name = "edf"
+
+    @staticmethod
+    def _slack(request: Request, now_s: float, per_token_s: float,
+               remaining: int) -> float:
+        """Margin between the deadline and the estimated finish (inf when
+        the request carries no deadline)."""
+        if request.deadline_s is None:
+            return float("inf")
+        return request.deadline_s - (now_s + remaining * per_token_s)
+
+    def queue_key(self, request: Request, now_s: float = 0.0,
+                  per_token_s: float = 0.0,
+                  remaining: Optional[int] = None) -> Tuple:
+        """Feasible EDF first, then deadline-free, then hopeless."""
+        if remaining is None:
+            remaining = request.max_new_tokens
+        slack = self._slack(request, now_s, per_token_s, remaining)
+        deadline = request.deadline_s
+        if deadline is None:
+            deadline = float("inf")
+        hopeless = slack < 0  # never True for deadline-free (inf slack)
+        return (1 if hopeless else 0, deadline, request.arrival_s,
+                request.request_id)
+
+    def victim_key(self, seq, now_s: float, per_token_s: float) -> Tuple:
+        """Deadline-free first, then hopeless, then the most-slack feasible."""
+        request = seq.request
+        remaining = request.max_new_tokens - len(seq.result.tokens)
+        slack = self._slack(request, now_s, per_token_s, remaining)
+        if request.deadline_s is None:
+            rank, urgency = 0, 0.0  # cannot miss: evict first
+        elif slack < 0:
+            rank, urgency = 1, slack  # wasted work: most-blown first
+        else:
+            rank, urgency = 2, -slack  # feasible: most slack first
+        return (rank, urgency, -request.arrival_s, -request.request_id)
+
+
+SCHEDULING_POLICIES = {
+    FifoPriorityPolicy.name: FifoPriorityPolicy,
+    EdfPolicy.name: EdfPolicy,
+}
+
+
+def make_scheduling_policy(spec: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
+    """Resolve a policy name (or pass through an instance) to a policy."""
+    if isinstance(spec, SchedulingPolicy):
+        return spec
+    if spec not in SCHEDULING_POLICIES:
+        raise ValueError(
+            f"unknown scheduling policy {spec!r}; "
+            f"known: {sorted(SCHEDULING_POLICIES)}")
+    return SCHEDULING_POLICIES[spec]()

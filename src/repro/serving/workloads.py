@@ -12,10 +12,21 @@ paper's Fig. 14/15 allude to:
   gaps, which stresses admission and preemption much harder than the same
   mean rate spread evenly.
 
+Both of those are *open-loop*: arrival times are fixed up front, regardless
+of how the server keeps up.  :class:`ClosedLoopClients` is the third,
+*closed-loop* shape (what think-time benchmarks like TPC and interactive
+chat traffic actually look like): M clients each hold at most one request in
+flight, and a client issues its next request only after the previous one
+completes plus a think-time gap — so the offered load self-throttles to the
+server's service rate.  The engine (or router) drives the interaction by
+calling :meth:`ClosedLoopClients.next_request` on each completion.
+
 Every request's deadline is ``slo_scale`` times an ideal-service estimate
 (full-depth decode at ``per_token_s`` plus a prefill term), so SLO attainment
 compares schedulers, not workload luck.  Generation is fully deterministic
-given the seed.
+given the seed: every prompt, token budget and think-time gap is drawn up
+front, so two identically-seeded workloads served by identically-configured
+engines produce identical arrival sequences.
 """
 
 from __future__ import annotations
@@ -29,7 +40,9 @@ from repro.data.corpus import generate_prompts
 from repro.serving.request import Request
 from repro.utils.rng import child_rng
 
-__all__ = ["ArrivalTrace", "poisson_trace", "bursty_trace"]
+__all__ = ["ArrivalTrace", "ClosedLoopClients", "poisson_trace", "bursty_trace"]
+
+THINK_DISTRIBUTIONS = ("exponential", "constant")
 
 
 @dataclass
@@ -176,3 +189,118 @@ def bursty_trace(
         max_new_tokens_range, slo_scale, per_token_s, priority_levels, seed,
         params={"burst_size": burst_size, "burst_gap_s": burst_gap_s},
     )
+
+
+class ClosedLoopClients:
+    """M closed-loop clients with think-time gaps between their requests.
+
+    Client ``i`` issues request round ``j`` only after its round ``j-1``
+    request completed, waiting a think-time gap in between; at most
+    ``n_clients`` requests are ever in flight.  All randomness (prompts,
+    token budgets, priorities, think gaps) is drawn up front from the seed,
+    so the only run-dependent part of a request is its ``arrival_s`` — which
+    the serving engine determines by reporting completions through
+    :meth:`next_request`.  Request ids are ``client * requests_per_client +
+    round``, making per-request outputs comparable across routing and
+    scheduling policies.
+
+    ``think_time_s`` is the mean gap; ``think="exponential"`` draws
+    memoryless gaps around it (the classic interactive-user model), while
+    ``think="constant"`` uses the mean exactly.  The first round staggers
+    clients by one think gap each, so a fleet is not hit by a synchronized
+    herd at t=0.
+    """
+
+    def __init__(
+        self,
+        n_clients: int,
+        requests_per_client: int,
+        vocab_size: int,
+        *,
+        think_time_s: float = 0.05,
+        think: str = "exponential",
+        prompt_len_range: Tuple[int, int] = (4, 16),
+        max_new_tokens_range: Tuple[int, int] = (16, 48),
+        slo_scale: Optional[float] = 3.0,
+        per_token_s: float = 0.006,
+        priority_levels: int = 1,
+        seed: int = 0,
+    ):
+        """Draw every client's prompts, budgets and think gaps up front."""
+        if n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if requests_per_client < 1:
+            raise ValueError("requests_per_client must be >= 1")
+        if think_time_s < 0:
+            raise ValueError("think_time_s must be >= 0")
+        if think not in THINK_DISTRIBUTIONS:
+            raise ValueError(f"think must be one of {THINK_DISTRIBUTIONS}")
+        lo, hi = max_new_tokens_range
+        if lo < 1 or hi < lo:
+            raise ValueError(f"bad max_new_tokens_range {max_new_tokens_range}")
+        if priority_levels < 1:
+            raise ValueError("priority_levels must be >= 1")
+        if per_token_s <= 0:
+            raise ValueError("per_token_s must be positive")
+        self.n_clients = n_clients
+        self.requests_per_client = requests_per_client
+        self.think_time_s = think_time_s
+        self.think = think
+        self.slo_scale = slo_scale
+        self.per_token_s = per_token_s
+        self.seed = seed
+        n = n_clients * requests_per_client
+        self._prompts = generate_prompts(
+            n, vocab_size, length_range=prompt_len_range, seed=seed)
+        rng = child_rng(seed, "workload", "closed-loop")
+        self._budgets = rng.integers(lo, hi + 1, size=n)
+        self._priorities = rng.integers(0, priority_levels, size=n)
+        if think == "constant" or think_time_s == 0:
+            self._think_gaps = np.full(n, float(think_time_s))
+        else:
+            self._think_gaps = rng.exponential(think_time_s, size=n)
+
+    def __len__(self) -> int:
+        return self.n_clients * self.requests_per_client
+
+    @property
+    def total_requests(self) -> int:
+        """Requests the full closed-loop run will issue."""
+        return len(self)
+
+    @property
+    def offered_tokens(self) -> int:
+        """Total decode-token budget across every round of every client."""
+        return int(self._budgets.sum())
+
+    def _request(self, client: int, round_: int, arrival_s: float) -> Request:
+        index = client * self.requests_per_client + round_
+        budget = int(self._budgets[index])
+        slo = None
+        if self.slo_scale is not None:
+            # Same ideal-service deadline formula as the open-loop traces.
+            slo = self.slo_scale * self.per_token_s * (
+                budget + 0.1 * len(self._prompts[index]))
+        return Request(
+            request_id=index, prompt=self._prompts[index],
+            max_new_tokens=budget, arrival_s=float(arrival_s), slo_s=slo,
+            priority=int(self._priorities[index]), client_id=client,
+        )
+
+    def initial_requests(self) -> List[Request]:
+        """Round 0 of every client, staggered by one think gap each."""
+        return [self._request(c, 0, self._think_gaps[c * self.requests_per_client])
+                for c in range(self.n_clients)]
+
+    def next_request(self, request_id: int, finish_s: float) -> Optional[Request]:
+        """The issuing client's next request after ``request_id`` completed
+        at ``finish_s`` — arriving one think gap later — or None when that
+        client has exhausted its rounds."""
+        client, round_ = divmod(request_id, self.requests_per_client)
+        if not 0 <= client < self.n_clients:
+            raise ValueError(f"request id {request_id} belongs to no client")
+        if round_ + 1 >= self.requests_per_client:
+            return None
+        index = client * self.requests_per_client + round_ + 1
+        return self._request(client, round_ + 1,
+                             finish_s + self._think_gaps[index])

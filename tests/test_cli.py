@@ -74,3 +74,64 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "tp=2 pp=2" in out
         assert "SLO attainment" in out
+
+
+class TestFleetServe:
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.replicas == 1 and args.route == "round_robin"
+        assert args.sched == "fifo_priority" and args.clients == "open"
+
+    def test_serve_fleet_trace(self, capsys):
+        assert main(["serve", "--replicas", "3", "--route", "exit_aware",
+                     "--sched", "edf", "--trace", "poisson",
+                     "--requests", "6", "--max-new-tokens", "12",
+                     "--batch-capacity", "4",
+                     "--kv-blocks", "16", "--block-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet serving: 3x" in out
+        assert "route=exit_aware" in out and "sched=edf" in out
+        assert "goodput" in out
+
+    def test_serve_closed_loop_clients(self, capsys):
+        assert main(["serve", "--replicas", "2", "--clients", "closed:3",
+                     "--requests", "6", "--max-new-tokens", "12",
+                     "--batch-capacity", "4",
+                     "--kv-blocks", "16", "--block-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "closed:3 clients" in out
+        assert "requests per replica" in out
+
+    def test_serve_fleet_sharded_replicas(self, capsys):
+        assert main(["serve", "--replicas", "2", "--trace", "poisson",
+                     "--requests", "4", "--max-new-tokens", "8",
+                     "--batch-capacity", "4", "--kv-blocks", "16",
+                     "--block-size", "4", "--tp", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tp=2" in out and "fleet serving" in out
+
+    def test_sched_flag_on_single_engine_trace(self, capsys):
+        assert main(["serve", "--trace", "poisson", "--sched", "edf",
+                     "--requests", "4", "--max-new-tokens", "8",
+                     "--batch-capacity", "4", "--kv-blocks", "16",
+                     "--block-size", "4"]) == 0
+        assert "sched=edf" in capsys.readouterr().out
+
+    def test_fleet_without_workload_errors(self, capsys):
+        assert main(["serve", "--replicas", "2"]) == 2
+        assert "needs a workload" in capsys.readouterr().err
+
+    def test_clients_and_trace_conflict_errors(self, capsys):
+        assert main(["serve", "--replicas", "2", "--clients", "closed:4",
+                     "--trace", "bursty"]) == 2
+        assert "both workloads" in capsys.readouterr().err
+
+    def test_bad_clients_spec_errors(self, capsys):
+        assert main(["serve", "--replicas", "2", "--clients", "closed:zero",
+                     "--trace", "poisson"]) == 2
+        assert "--clients" in capsys.readouterr().err
+
+    def test_transformer_backend_rejects_fleet(self, capsys):
+        assert main(["serve", "--backend", "transformer",
+                     "--replicas", "2", "--trace", "poisson"]) == 2
+        assert "closed-batch serving" in capsys.readouterr().err

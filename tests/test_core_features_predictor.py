@@ -33,7 +33,7 @@ class TestFeatureExtractor:
 
     def test_variation_tracks_previous_eval(self):
         ex = FeatureExtractor(2)
-        first = ex.extract(np.array([0.0, 0.0]))
+        ex.extract(np.array([0.0, 0.0]))
         second = ex.extract(np.array([5.0, 0.0]))
         assert second[4] > 0  # token 0's local prob rose
         assert second[5] < 0

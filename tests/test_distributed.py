@@ -12,6 +12,7 @@ from repro.distributed import (
     LinkSpec,
     ShardedPagedKV,
     make_cluster,
+    make_replica_clusters,
     record_decode_batches,
     record_prefill_allreduce,
     record_tick_bubble,
@@ -85,6 +86,17 @@ class TestClusterSpec:
         assert cluster.micro_batch_count(0) == 1
         wide = make_cluster(tp=1, pp=2, micro_batches=6)
         assert wide.micro_batch_count(8) == 6
+
+    def test_replica_clusters_are_distinct(self):
+        clusters = make_replica_clusters(3, "a100-80g", tp=2, pp=2)
+        assert len(clusters) == 3
+        assert all(c.tp == 2 and c.pp == 2 for c in clusters)
+        assert len({id(c) for c in clusters}) == 3  # one spec per replica
+
+    def test_replica_clusters_single_device_is_none(self):
+        assert make_replica_clusters(4, "a100-80g", tp=1, pp=1) == [None] * 4
+        with pytest.raises(ValueError, match="n_replicas"):
+            make_replica_clusters(0, "a100-80g", tp=2)
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@ import pytest
 from repro.cli import build_parser
 from repro.experiments import REGISTRY
 from repro.hardware.ledger import Event
+from repro.serving import ROUTING_POLICIES, SCHEDULING_POLICIES
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
@@ -108,6 +109,56 @@ class TestCliFlagDocs:
         undocumented = serve_flags - self.documented_flags()
         assert not undocumented, (
             f"serve flags missing from DESIGN.md/README.md: {sorted(undocumented)}")
+
+    def test_fleet_flags_exist_and_are_documented(self):
+        """The data-parallel fleet flags must exist on the serve command AND
+        appear in the docs — both directions, spelled out so a rename of
+        either side fails loudly."""
+        fleet_flags = {"--replicas", "--route", "--sched", "--clients",
+                       "--think-time"}
+        serve_flags = _option_strings(_cli_subparsers()["serve"])
+        assert fleet_flags <= serve_flags, (
+            f"serve lost fleet flags: {sorted(fleet_flags - serve_flags)}")
+        documented = self.documented_flags()
+        assert fleet_flags <= documented, (
+            f"fleet flags undocumented: {sorted(fleet_flags - documented)}")
+
+
+class TestPolicyDocs:
+    """DESIGN.md's routing/scheduling policy tables must name exactly the
+    registered policies, and every registered policy must be a valid CLI
+    choice."""
+
+    def design_table_names(self, anchor):
+        design = (REPO / "DESIGN.md").read_text()
+        section = design.split(anchor, 1)[1]
+        names = set()
+        for line in section.splitlines():
+            match = re.match(r"\|\s*`([a-z_]+)`\s*\|", line)
+            if match:
+                names.add(match.group(1))
+            elif line.startswith("## "):
+                break
+        return names
+
+    def test_scheduling_policies_documented(self):
+        documented = self.design_table_names("**Scheduling policies.**")
+        assert set(SCHEDULING_POLICIES) <= documented, (
+            f"DESIGN.md scheduling table missing "
+            f"{sorted(set(SCHEDULING_POLICIES) - documented)}")
+
+    def test_routing_policies_documented(self):
+        documented = self.design_table_names("**Routing policies**")
+        assert set(ROUTING_POLICIES) <= documented, (
+            f"DESIGN.md routing table missing "
+            f"{sorted(set(ROUTING_POLICIES) - documented)}")
+
+    def test_cli_choices_match_registries(self):
+        serve = _cli_subparsers()["serve"]
+        choices = {action.dest: set(action.choices)
+                   for action in serve._actions if action.choices}
+        assert choices["route"] == set(ROUTING_POLICIES)
+        assert choices["sched"] == set(SCHEDULING_POLICIES)
 
 
 class TestPublicDocstrings:

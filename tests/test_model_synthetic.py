@@ -39,7 +39,7 @@ class TestInterfaceContract:
     def test_commit_resets_cursor(self, lm):
         state = lm.start([1, 2, 3])
         lm.begin_step(state)
-        h = lm.run_to_layer(state, 5)
+        lm.run_to_layer(state, 5)
         lm.commit(state, 7, 5)
         assert state.layer_cursor == -1
         assert state.context[-1] == 7

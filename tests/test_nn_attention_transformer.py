@@ -172,7 +172,6 @@ class TestTrainableTransformer:
         cfg = TransformerConfig(vocab_size=24, dim=16, n_layers=1, n_heads=2,
                                 intermediate_dim=24, max_positions=16)
         lm = TrainableTransformerLM(cfg, seed=0)
-        rng = np.random.default_rng(0)
         # Learnable pattern: next token = (token + 1) % vocab.
         seq = (np.arange(9) * 1) % cfg.vocab_size
         batch = np.stack([seq, (seq + 3) % cfg.vocab_size])

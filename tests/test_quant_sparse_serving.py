@@ -138,7 +138,7 @@ class TestPagedKV:
     def test_allocator_exhaustion_and_free(self):
         alloc = BlockAllocator(2)
         a = alloc.allocate()
-        b = alloc.allocate()
+        alloc.allocate()
         with pytest.raises(MemoryError):
             alloc.allocate()
         alloc.free(a)

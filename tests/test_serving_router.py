@@ -1,0 +1,239 @@
+"""Data-parallel replica router: routing-policy selection, token identity
+against single-replica serving, fleet-report aggregation, closed-loop client
+interaction, and per-replica cluster sharding."""
+
+import math
+
+import pytest
+
+from repro.distributed import make_cluster
+from repro.eval.harness import build_rig
+from repro.serving import (
+    ClosedLoopClients,
+    Request,
+    ServingRouter,
+    make_routing_policy,
+    poisson_trace,
+)
+
+# Same asset-cache key as the other serving tests, so training happens once.
+RIG_KWARGS = dict(train_prompts=6, train_tokens=30, predictor_hidden=128, epochs=10)
+FLEET_KWARGS = dict(batch_capacity=4, kv_blocks=24, block_size=4,
+                    chunk_prefill_tokens=16)
+
+
+@pytest.fixture(scope="module")
+def rig():
+    return build_rig("llama2-7b", **RIG_KWARGS)
+
+
+@pytest.fixture(scope="module")
+def trace(rig):
+    engine = rig.async_serving_engine(**FLEET_KWARGS)
+    return poisson_trace(
+        16, 30.0, rig.model.vocab_size, seed=7, slo_scale=4.0,
+        per_token_s=engine.latency.full_depth_token_time(),
+        priority_levels=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def single_report(rig, trace):
+    return rig.async_serving_engine(**FLEET_KWARGS).run(trace)
+
+
+# ---------------------------------------------------------------------------
+# routing policies
+# ---------------------------------------------------------------------------
+class TestRoutingPolicies:
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            make_routing_policy("random")
+
+    def test_instances_pass_through(self):
+        policy = make_routing_policy("least_kv_load")
+        assert make_routing_policy(policy) is policy
+
+    def test_round_robin_balances_exactly(self, rig, trace):
+        fleet = rig.router_fleet(4, route="round_robin", **FLEET_KWARGS)
+        report = fleet.run(trace)
+        assert report.replica_request_counts == [4, 4, 4, 4]
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            ServingRouter([])
+
+    def test_repeated_runs_are_reproducible(self, rig):
+        """Policy state (e.g. the round-robin cursor) must reset per run:
+        re-running one fleet on the same workload gives identical
+        assignments even when requests don't divide evenly by replicas."""
+        fleet = rig.router_fleet(2, route="round_robin", **FLEET_KWARGS)
+        requests = [Request(i, [i + 3, i + 5], 8) for i in range(5)]
+        first = fleet.run(requests).assignments
+        second = fleet.run(requests).assignments
+        assert first == second
+
+    @pytest.mark.parametrize("route", ["round_robin", "least_kv_load",
+                                       "exit_aware"])
+    def test_every_policy_serves_everything(self, rig, trace, route):
+        fleet = rig.router_fleet(3, route=route, **FLEET_KWARGS)
+        report = fleet.run(trace)
+        assert set(report.results) == {r.request_id for r in trace}
+        assert set(report.assignments) == {r.request_id for r in trace}
+        assert report.route == route
+
+
+# ---------------------------------------------------------------------------
+# token identity
+# ---------------------------------------------------------------------------
+class TestTokenIdentity:
+    @pytest.mark.parametrize("route,sched", [
+        ("round_robin", "fifo_priority"),
+        ("least_kv_load", "fifo_priority"),
+        ("exit_aware", "edf"),
+    ])
+    def test_routed_tokens_match_single_replica(self, rig, trace,
+                                                single_report, route, sched):
+        fleet = rig.router_fleet(3, route=route, scheduling=sched,
+                                 **FLEET_KWARGS)
+        report = fleet.run(trace)
+        for request in trace:
+            routed = report.results[request.request_id]
+            alone = single_report.results[request.request_id]
+            assert routed.tokens == alone.tokens
+            assert routed.exit_layers == alone.exit_layers
+
+    def test_per_replica_clusters_keep_tokens(self, rig, trace, single_report):
+        """A fleet of modelled tp=2 shards serves the same tokens (sharding
+        repartitions cost, never computation)."""
+        fleet = rig.router_fleet(
+            2, route="round_robin",
+            cluster_factory=lambda: make_cluster("a100-80g", tp=2),
+            **FLEET_KWARGS)
+        report = fleet.run(trace)
+        for request in trace:
+            assert (report.results[request.request_id].tokens
+                    == single_report.results[request.request_id].tokens)
+        for replica in fleet.replicas:
+            assert replica.cluster is not None and replica.cluster.tp == 2
+
+
+# ---------------------------------------------------------------------------
+# fleet report aggregation
+# ---------------------------------------------------------------------------
+class TestFleetReport:
+    @pytest.fixture(scope="class")
+    def report(self, rig, trace):
+        fleet = rig.router_fleet(3, route="least_kv_load", scheduling="edf",
+                                 **FLEET_KWARGS)
+        return fleet.run(trace)
+
+    def test_totals_are_replica_sums(self, report):
+        assert report.total_tokens == sum(
+            r.total_tokens for r in report.replica_reports)
+        assert report.preemptions == sum(
+            r.preemptions for r in report.replica_reports)
+
+    def test_makespan_is_latest_replica(self, report):
+        assert report.makespan_s == max(
+            r.makespan_s for r in report.replica_reports)
+
+    def test_throughput_and_goodput(self, report):
+        assert report.throughput_tps == pytest.approx(
+            report.total_tokens / report.makespan_s)
+        assert report.goodput_tps <= report.throughput_tps + 1e-9
+        assert report.good_tokens <= report.total_tokens
+
+    def test_metrics_merge_is_disjoint(self, report):
+        total = sum(len(r.metrics) for r in report.replica_reports)
+        assert len(report.metrics) == total
+
+    def test_slo_attainment_bounds(self, report):
+        assert 0.0 <= report.slo_attainment <= 1.0
+
+    def test_scheduling_name_recorded(self, report):
+        assert report.scheduling == "edf"
+
+    def test_replica_stats_have_fleet_width(self, report):
+        assert len(report.replica_layers_per_token) == 3
+        assert len(report.replica_request_counts) == 3
+        assert all(l > 0 for l in report.replica_layers_per_token)
+
+    def test_latency_percentiles(self, report):
+        assert report.mean_latency_s > 0
+        assert report.p95_latency_s() >= report.mean_latency_s * 0.5
+
+
+# ---------------------------------------------------------------------------
+# router-level rejection
+# ---------------------------------------------------------------------------
+class TestRouterRejection:
+    def test_oversized_request_rejected_at_router(self, rig):
+        fleet = rig.router_fleet(2, **FLEET_KWARGS)
+        requests = [Request(0, [3, 4], 8, slo_s=100.0),
+                    Request(1, [5, 6], 1000, slo_s=100.0),  # 250 blocks vs 24
+                    Request(2, [7, 8], 8, slo_s=100.0)]
+        report = fleet.run(requests)
+        assert set(report.results) == {0, 2}
+        assert 1 in report.rejected
+        assert "no replica can hold it" in report.rejected[1]
+        assert report.rejected_with_slo == 1
+        # 2 of the 3 deadline-carrying requests can ever finish.
+        assert report.slo_attainment <= 2 / 3
+
+    def test_empty_workload(self, rig):
+        fleet = rig.router_fleet(2, **FLEET_KWARGS)
+        report = fleet.run([])
+        assert report.results == {}
+        assert math.isnan(report.slo_attainment)
+        assert report.makespan_s == 0.0
+
+
+# ---------------------------------------------------------------------------
+# closed-loop clients through the router
+# ---------------------------------------------------------------------------
+class TestClosedLoopThroughRouter:
+    def make_clients(self, rig, seed=3):
+        return ClosedLoopClients(
+            4, 3, rig.model.vocab_size, think_time_s=0.05, seed=seed,
+            per_token_s=0.006, slo_scale=6.0)
+
+    def test_all_rounds_served(self, rig):
+        fleet = rig.router_fleet(2, route="exit_aware", scheduling="edf",
+                                 **FLEET_KWARGS)
+        clients = self.make_clients(rig)
+        report = fleet.run(clients)
+        assert len(report.results) == clients.total_requests
+
+    def test_next_round_arrives_after_previous_finish(self, rig):
+        fleet = rig.router_fleet(2, **FLEET_KWARGS)
+        clients = self.make_clients(rig)
+        report = fleet.run(clients)
+        metrics = report.metrics
+        for client in range(clients.n_clients):
+            for round_ in range(clients.requests_per_client - 1):
+                prev = metrics[client * clients.requests_per_client + round_]
+                nxt = metrics[client * clients.requests_per_client + round_ + 1]
+                assert nxt.arrival_s > prev.finish_s
+
+    def test_closed_loop_run_is_deterministic(self, rig):
+        def issue_log():
+            fleet = rig.router_fleet(2, route="least_kv_load", **FLEET_KWARGS)
+            report = fleet.run(self.make_clients(rig))
+            return sorted((m.request_id, round(m.arrival_s, 9),
+                           round(m.finish_s, 9))
+                          for m in report.metrics.values())
+        assert issue_log() == issue_log()
+
+    def test_at_most_one_request_in_flight_per_client(self, rig):
+        fleet = rig.router_fleet(2, **FLEET_KWARGS)
+        clients = self.make_clients(rig)
+        report = fleet.run(clients)
+        metrics = report.metrics
+        for client in range(clients.n_clients):
+            ids = [client * clients.requests_per_client + r
+                   for r in range(clients.requests_per_client)]
+            intervals = [(metrics[i].arrival_s, metrics[i].finish_s)
+                         for i in ids]
+            for (_, f0), (a1, _) in zip(intervals, intervals[1:]):
+                assert a1 > f0  # rounds never overlap

@@ -1,0 +1,200 @@
+"""Workload generators: seeded determinism of the open-loop traces and the
+closed-loop client generator, closed-loop mechanics, and the EDF-vs-FIFO
+goodput property under deadline pressure."""
+
+import pytest
+
+from repro.eval.harness import build_rig
+from repro.serving import (
+    ClosedLoopClients,
+    bursty_trace,
+    make_scheduling_policy,
+    poisson_trace,
+)
+
+# Same asset-cache key as the other serving tests, so training happens once.
+RIG_KWARGS = dict(train_prompts=6, train_tokens=30, predictor_hidden=128, epochs=10)
+
+
+@pytest.fixture(scope="module")
+def rig():
+    return build_rig("llama2-7b", **RIG_KWARGS)
+
+
+def request_fingerprint(request):
+    return (request.request_id, round(request.arrival_s, 12), request.prompt,
+            request.max_new_tokens, request.slo_s, request.priority,
+            request.client_id)
+
+
+# ---------------------------------------------------------------------------
+# seeded determinism
+# ---------------------------------------------------------------------------
+class TestSeededDeterminism:
+    def test_poisson_identical_across_builds(self):
+        a = poisson_trace(30, 12.0, 512, seed=9, priority_levels=3)
+        b = poisson_trace(30, 12.0, 512, seed=9, priority_levels=3)
+        assert ([request_fingerprint(r) for r in a]
+                == [request_fingerprint(r) for r in b])
+
+    def test_poisson_seed_changes_arrivals(self):
+        a = poisson_trace(30, 12.0, 512, seed=9)
+        b = poisson_trace(30, 12.0, 512, seed=10)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in b]
+
+    def test_bursty_identical_across_builds(self):
+        a = bursty_trace(24, 4, 0.5, 512, jitter_s=0.1, seed=5)
+        b = bursty_trace(24, 4, 0.5, 512, jitter_s=0.1, seed=5)
+        assert ([request_fingerprint(r) for r in a]
+                == [request_fingerprint(r) for r in b])
+
+    def test_closed_loop_identical_arrival_sequence(self):
+        """Same seed -> the full issued sequence is identical: initial
+        rounds match, and every follow-up issued for the same completion
+        time matches (prompts, budgets, SLOs and think-gap arrivals)."""
+        a = ClosedLoopClients(5, 4, 512, think_time_s=0.08, seed=11)
+        b = ClosedLoopClients(5, 4, 512, think_time_s=0.08, seed=11)
+        first_a, first_b = a.initial_requests(), b.initial_requests()
+        assert ([request_fingerprint(r) for r in first_a]
+                == [request_fingerprint(r) for r in first_b])
+        for request in first_a:
+            finish = request.arrival_s + 0.5
+            na = a.next_request(request.request_id, finish)
+            nb = b.next_request(request.request_id, finish)
+            assert request_fingerprint(na) == request_fingerprint(nb)
+
+    def test_closed_loop_seed_changes_think_gaps(self):
+        a = ClosedLoopClients(5, 4, 512, think_time_s=0.08, seed=11)
+        b = ClosedLoopClients(5, 4, 512, think_time_s=0.08, seed=12)
+        assert ([r.arrival_s for r in a.initial_requests()]
+                != [r.arrival_s for r in b.initial_requests()])
+
+
+# ---------------------------------------------------------------------------
+# closed-loop mechanics
+# ---------------------------------------------------------------------------
+class TestClosedLoopClients:
+    def test_ids_and_client_tags(self):
+        clients = ClosedLoopClients(3, 4, 512, seed=0)
+        assert clients.total_requests == 12
+        for client, request in enumerate(clients.initial_requests()):
+            assert request.request_id == client * 4
+            assert request.client_id == client
+
+    def test_next_request_waits_one_think_gap(self):
+        clients = ClosedLoopClients(2, 3, 512, think_time_s=0.2,
+                                    think="constant", seed=1)
+        first = clients.initial_requests()[0]
+        nxt = clients.next_request(first.request_id, finish_s=7.0)
+        assert nxt.request_id == first.request_id + 1
+        assert nxt.client_id == first.client_id
+        assert nxt.arrival_s == pytest.approx(7.2)
+
+    def test_last_round_returns_none(self):
+        clients = ClosedLoopClients(2, 2, 512, seed=0)
+        assert clients.next_request(1, finish_s=1.0) is None  # client 0 round 1
+        assert clients.next_request(3, finish_s=1.0) is None  # client 1 round 1
+
+    def test_unknown_request_id_raises(self):
+        clients = ClosedLoopClients(2, 2, 512, seed=0)
+        with pytest.raises(ValueError, match="belongs to no client"):
+            clients.next_request(99, finish_s=1.0)
+
+    def test_constant_think_is_exact(self):
+        clients = ClosedLoopClients(4, 2, 512, think_time_s=0.5,
+                                    think="constant", seed=3)
+        for request in clients.initial_requests():
+            assert request.arrival_s == pytest.approx(0.5)
+
+    def test_exponential_think_varies(self):
+        clients = ClosedLoopClients(8, 2, 512, think_time_s=0.5, seed=3)
+        arrivals = [r.arrival_s for r in clients.initial_requests()]
+        assert len(set(arrivals)) > 1
+
+    def test_slo_follows_budget(self):
+        clients = ClosedLoopClients(3, 2, 512, slo_scale=2.0,
+                                    per_token_s=0.01, seed=0)
+        for request in clients.initial_requests():
+            expected = 2.0 * 0.01 * (request.max_new_tokens
+                                     + 0.1 * len(request.prompt))
+            assert request.slo_s == pytest.approx(expected)
+
+    def test_no_slo_mode(self):
+        clients = ClosedLoopClients(3, 2, 512, slo_scale=None, seed=0)
+        assert all(r.slo_s is None for r in clients.initial_requests())
+
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            ClosedLoopClients(0, 2, 512)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(2, 0, 512)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(2, 2, 512, think_time_s=-1.0)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(2, 2, 512, think="uniform")
+        with pytest.raises(ValueError):
+            ClosedLoopClients(2, 2, 512, max_new_tokens_range=(8, 4))
+
+
+# ---------------------------------------------------------------------------
+# scheduling policies
+# ---------------------------------------------------------------------------
+class TestSchedulingPolicies:
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_scheduling_policy("lifo")
+
+    def test_instances_pass_through(self):
+        policy = make_scheduling_policy("edf")
+        assert make_scheduling_policy(policy) is policy
+
+    def test_edf_orders_feasible_before_hopeless(self):
+        from repro.serving import Request
+        policy = make_scheduling_policy("edf")
+        feasible = Request(0, [1, 2], 4, arrival_s=0.0, slo_s=100.0)
+        hopeless = Request(1, [1, 2], 4, arrival_s=0.0, slo_s=0.001)
+        free = Request(2, [1, 2], 4, arrival_s=0.0)
+        keys = {r.request_id: policy.queue_key(r, now_s=50.0, per_token_s=0.01)
+                for r in (feasible, hopeless, free)}
+        assert keys[0] < keys[2] < keys[1]
+
+    def test_fifo_orders_by_priority_then_arrival(self):
+        from repro.serving import Request
+        policy = make_scheduling_policy("fifo_priority")
+        vip = Request(3, [1, 2], 4, arrival_s=5.0, priority=2)
+        early = Request(1, [1, 2], 4, arrival_s=0.0)
+        late = Request(2, [1, 2], 4, arrival_s=9.0)
+        order = sorted((late, vip, early), key=policy.queue_key)
+        assert [r.request_id for r in order] == [3, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# EDF-vs-FIFO goodput property
+# ---------------------------------------------------------------------------
+class TestEdfGoodputProperty:
+    """Under deadline pressure, EDF's feasibility-aware service order and
+    slack-aware victim picker must not lose goodput to deadline-blind
+    fifo_priority on the same trace — and tokens must be identical."""
+
+    PRESSURE = dict(batch_capacity=4, kv_blocks=24, block_size=4,
+                    chunk_prefill_tokens=16)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_edf_goodput_at_least_fifo(self, rig, seed):
+        engines = {
+            sched: rig.async_serving_engine(scheduling=sched, **self.PRESSURE)
+            for sched in ("fifo_priority", "edf")
+        }
+        per_token_s = engines["edf"].latency.full_depth_token_time()
+        trace = poisson_trace(
+            24, 12.0, rig.model.vocab_size, seed=seed,
+            prompt_len_range=(8, 48), max_new_tokens_range=(16, 48),
+            slo_scale=3.0, per_token_s=per_token_s, priority_levels=3,
+        )
+        reports = {name: engine.run(trace) for name, engine in engines.items()}
+        fifo, edf = reports["fifo_priority"], reports["edf"]
+        for request in trace:
+            assert (edf.results[request.request_id].tokens
+                    == fifo.results[request.request_id].tokens)
+        assert fifo.slo_attainment < 1.0, "no deadline pressure, test is vacuous"
+        assert edf.goodput_tps >= fifo.goodput_tps
