@@ -55,9 +55,10 @@ GATES = {
         Modelled("gates.tp2_over_tp1"),
     ],
     "BENCH_wallclock.json": [
-        # Only the dimensionless ratio is gated: it is machine-portable,
+        # Only the dimensionless ratios are gated: they are machine-portable,
         # whereas absolute tok/s swings with the host and stays informational.
         WallClock("gates.b16_speedup"),
+        WallClock("gates.predictor_speedup"),
     ],
     "BENCH_router_goodput.json": [
         Modelled("gates.edf_exit_aware_goodput"),

@@ -262,7 +262,9 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
     ]
     workload_desc = (f"closed:{n_clients} clients" if n_clients is not None
                      else f"{args.trace} trace")
-    title = (f"fleet serving: {args.replicas}x {args.model} @ "
+    served = (f"tiny-transformer (priced as {args.model})"
+              if args.backend == "transformer" else args.model)
+    title = (f"fleet serving: {args.replicas}x {served} @ "
              f"{args.device}/{args.framework}, tp={args.tp} pp={args.pp}, "
              f"{workload_desc}, route={args.route}, sched={args.sched}")
     print(render_table(["metric", "value"], rows, title=title), file=out)
@@ -316,7 +318,16 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
          f"{report.preemptions} ({report.swaps}/{report.recomputes})"],
         ["peak host-pool tokens", report.peak_host_tokens],
     ]
-    title = (f"async serving: {args.model} @ {args.device}/{args.framework}, "
+    if args.backend == "transformer":
+        # Real backend: measured wall-clock numbers next to the modelled ones.
+        rows.extend([
+            ["batched decode", "on" if serving.batched else "off"],
+            ["wall time (s)", f"{report.wall_time_s:.3f}"],
+            ["measured tokens/s (wall-clock)", f"{report.measured_tps:.1f}"],
+        ])
+    served = (f"tiny-transformer (priced as {args.model})"
+              if args.backend == "transformer" else args.model)
+    title = (f"async serving: {served} @ {args.device}/{args.framework}, "
              f"tp={args.tp} pp={args.pp}, {args.trace} trace, "
              f"{args.admission} admission, "
              f"{args.preemption} preemption, chunk={args.chunk_prefill}, "
@@ -337,17 +348,10 @@ def _cmd_serve(args, out: IO[str]) -> int:
               file=sys.stderr)
         return 2
     if args.backend == "transformer":
-        if args.tp * args.pp != 1:
-            print("serve: --backend transformer does not support --tp/--pp yet "
-                  "(the sharded path drives the synthetic backend only); "
-                  "rerun with --tp 1 --pp 1", file=sys.stderr)
-            return 2
-        if args.trace != "off" or fleet_mode:
-            print("serve: --backend transformer supports closed-batch serving "
-                  "only; rerun with --trace off, --replicas 1, --clients open",
-                  file=sys.stderr)
-            return 2
-        rig = build_transformer_rig(seed=args.seed)
+        # Real numpy decode under every serving mode: closed batch, async
+        # traces, fleets and tp/pp sharding all drive the same rig; ledgers
+        # are priced as --model on --device either way.
+        rig = build_transformer_rig(seed=args.seed, priced_as=args.model)
     else:
         rig = build_rig(args.model, seed=args.seed, train_prompts=6, train_tokens=30,
                         predictor_hidden=128, epochs=10)

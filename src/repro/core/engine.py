@@ -19,7 +19,7 @@ hardware models can price the run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -121,6 +121,12 @@ class SpecEEEngine:
         # Per-sequence extractors for step_batch (each sequence's feature
         # variation history must stay isolated); grown on demand.
         self._extractor_pool: List[FeatureExtractor] = []
+        #: Score every live sequence's exit predictor in one vectorized pass
+        #: per active layer inside :meth:`step_batch` — a single union-sliced
+        #: LM-head GEMM plus one MLP forward — instead of per sequence.
+        #: Decision-identical to the per-sequence path; the flag exists so
+        #: benchmarks and tests can compare the two.
+        self.batched_predictors: bool = True
 
     def generate(
         self,
@@ -275,9 +281,14 @@ class SpecEEEngine:
         batch of sequences still alive at that depth
         (:meth:`~repro.model.base.LayeredLM.layer_forward_batch`), and
         sequences drop out of the batch the moment their exit verifies — the
-        SpecEE layer-skip shape, now with shrinking GEMMs.  Backends without
-        real batched math (``supports_batched_decode`` False) fall back to a
-        scalar :meth:`step` loop.
+        SpecEE layer-skip shape, now with shrinking GEMMs.  With
+        :attr:`batched_predictors` set (the default) the per-layer exit
+        machinery is vectorized too: one LM-head slice over the union of all
+        live sequences' draft tokens, one feature-extraction pass and one MLP
+        forward score the whole block, replacing the per-sequence python
+        loop.  Backends without real batched math
+        (``supports_batched_decode`` False) fall back to a scalar
+        :meth:`step` loop.
         """
         b = len(states)
         if not (b == len(results) == len(schedulers)):
@@ -300,11 +311,17 @@ class SpecEEEngine:
             extractor.reset()
 
         n_layers = model.n_layers
+        k = cfg.num_speculative
         exit_token: List[Optional[int]] = [None] * b
         exit_layer = [n_layers - 1] * b
         predictor_evals = [0] * b
         verify_attempts = [0] * b
         active_predictors = [sched.active_count() for sched in schedulers]
+        # Vectorized-path feature history, mirroring FeatureExtractor's state:
+        # each row's last evaluated local probabilities plus a validity bit
+        # (the first evaluated layer of a step reports zero variation).
+        last_probs = np.zeros((b, k))
+        has_last = np.zeros(b, dtype=bool)
 
         hidden = model.begin_step_batch(states)  # [B, dim]
         live = list(range(b))
@@ -316,26 +333,55 @@ class SpecEEEngine:
                 results[i].ledger.add(Event.DECODER_LAYER)
             if layer >= n_layers - 1 or layer < cfg.min_exit_layer:
                 continue
+            scored: Dict[int, Tuple[np.ndarray, float]] = {}
+            if self.batched_predictors:
+                # One pass scores every scheduler-active sequence: slice the
+                # LM head once over the union of all draft tokens, gather
+                # each row's own candidates back out, extract features and
+                # run the layer's MLP over the whole block.
+                active = [(pos, i) for pos, i in enumerate(live)
+                          if schedulers[i].is_active(layer)]
+                if active:
+                    rows = [pos for pos, _ in active]
+                    idxs = [i for _, i in active]
+                    union, inverse = np.unique(
+                        np.concatenate([spec_tokens[i] for i in idxs]),
+                        return_inverse=True)
+                    sliced = model.lm_head_slice_batch(new[rows], union)
+                    cols = inverse.reshape(len(idxs), k)
+                    local = sliced[np.arange(len(idxs))[:, None], cols]
+                    feats, probs = FeatureExtractor.extract_rows(
+                        local, last_probs[idxs], has_last[idxs])
+                    last_probs[idxs] = probs
+                    has_last[idxs] = True
+                    scores = self.predictors.probability_batch(layer, feats)
+                    scored = {i: (local[j], float(scores[j]))
+                              for j, i in enumerate(idxs)}
             still: List[int] = []
             for pos, i in enumerate(live):
-                if not schedulers[i].is_active(layer):
-                    still.append(i)
-                    continue
+                if self.batched_predictors:
+                    if i not in scored:
+                        still.append(i)
+                        continue
+                    local_logits, probability = scored[i]
+                else:
+                    if not schedulers[i].is_active(layer):
+                        still.append(i)
+                        continue
+                    local_logits = model.lm_head_slice(new[pos], spec_tokens[i])
+                    probability = self.predictors.probability(
+                        layer, extractors[i].extract(local_logits))
                 ledger = results[i].ledger
-                h = new[pos]
-                local_logits = model.lm_head_slice(h, spec_tokens[i])
-                ledger.add(Event.LM_HEAD_SLICE, units=cfg.num_speculative)
-                features = extractors[i].extract(local_logits)
+                ledger.add(Event.LM_HEAD_SLICE, units=k)
                 ledger.add(Event.PREDICTOR)
                 predictor_evals[i] += 1
-                probability = self.predictors.probability(layer, features)
                 if probability < cfg.exit_threshold:
                     still.append(i)
                     continue
                 if cfg.verify_on_exit:
                     verify_attempts[i] += 1
                     ledger.add(Event.LM_HEAD_FULL)
-                    verdict = verify_exit(model, h, spec_tokens[i])
+                    verdict = verify_exit(model, new[pos], spec_tokens[i])
                     if verdict.ok:
                         exit_token[i], exit_layer[i] = verdict.token, layer
                     else:

@@ -80,3 +80,25 @@ class FeatureExtractor:
         variation = np.zeros_like(probs) if last_probs is None else probs - last_probs
         feats = np.concatenate([spec_logits, probs, variation], axis=-1)
         return feats, probs
+
+    @staticmethod
+    def extract_rows(
+        spec_logits: np.ndarray, last_probs: np.ndarray, has_last: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized per-sequence extraction with per-row variation validity.
+
+        ``spec_logits`` is ``[m, k]`` (one row per live sequence) and
+        ``last_probs``/``has_last`` carry each row's own history: rows whose
+        ``has_last`` is False are at their first evaluated layer of the step
+        and report zero variation.  Returns (features ``[m, 3k]``, local
+        probabilities ``[m, k]``).  Row ``i`` matches :meth:`extract` on the
+        same history exactly — the softmax is row-wise and the variation a
+        plain elementwise subtraction — which is what lets the batched
+        serving tick score every live sequence in one pass.
+        """
+        spec_logits = np.asarray(spec_logits, dtype=np.float64)
+        probs = softmax(spec_logits, axis=-1)
+        variation = np.where(np.asarray(has_last)[:, None],
+                             probs - last_probs, 0.0)
+        feats = np.concatenate([spec_logits, probs, variation], axis=-1)
+        return feats, probs

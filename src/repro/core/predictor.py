@@ -9,7 +9,7 @@ Llama2-7B = 32 such MLPs); :class:`PredictorBank` holds and dispatches them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 
@@ -32,6 +32,11 @@ class ExitPredictor:
     def probability(self, features: np.ndarray) -> float:
         """Exit probability for one feature vector."""
         return float(self.mlp.forward(np.asarray(features, dtype=np.float64)))
+
+    def probability_batch(self, features: np.ndarray) -> np.ndarray:
+        """Exit probabilities for ``[m, feature_dim]`` rows in one MLP pass."""
+        features = np.asarray(features, dtype=np.float64)
+        return np.asarray(self.mlp.forward(features), dtype=np.float64).reshape(-1)
 
     def should_exit(self, features: np.ndarray, threshold: float = 0.5) -> bool:
         return self.probability(features) >= threshold
@@ -82,6 +87,13 @@ class PredictorBank:
         if layer not in self.predictors:
             raise KeyError(f"no predictor for layer {layer}")
         return self.predictors[layer].probability(features)
+
+    def probability_batch(self, layer: int, features: np.ndarray) -> np.ndarray:
+        """Batched :meth:`probability`: one pass of ``layer``'s MLP over
+        ``[m, feature_dim]`` feature rows."""
+        if layer not in self.predictors:
+            raise KeyError(f"no predictor for layer {layer}")
+        return self.predictors[layer].probability_batch(features)
 
     def should_exit(self, layer: int, features: np.ndarray, threshold: float = 0.5) -> bool:
         return self.probability(layer, features) >= threshold

@@ -116,6 +116,15 @@ class Rig:
     sim: SimDims = _DEFAULT_SIM
     seed: int = 0
     model_factory: Optional[Callable[[], "LayeredLM"]] = None
+    #: Model-spec name used to price ledgers when ``model_name`` is not a
+    #: catalogued spec (the real transformer rig is "tiny-transformer" but
+    #: its runs are priced as this spec, e.g. "llama2-7b").
+    priced_as: Optional[str] = None
+
+    @property
+    def priced_model_name(self) -> str:
+        """The catalogued model-spec name the rig's ledgers are priced as."""
+        return self.priced_as or self.model_name
 
     def make_scheduler(
         self,
@@ -177,7 +186,7 @@ class Rig:
         engine = self.specee_engine(scheduler_kind, cfg, offline_top_k)
         factory = lambda: self.make_scheduler(scheduler_kind, cfg, offline_top_k)
         return AsyncServingEngine(
-            engine, get_model_spec(self.model_name), device=device,
+            engine, get_model_spec(self.priced_model_name), device=device,
             framework=framework, scheduler_factory=factory, **serving_kwargs)
 
     def router_fleet(
@@ -253,6 +262,7 @@ def build_transformer_rig(
     train_prompts: int = 3,
     train_tokens: int = 20,
     epochs: int = 8,
+    priced_as: str = "llama2-7b",
 ) -> Rig:
     """Rig over the real numpy transformer (:class:`TransformerLayeredLM`).
 
@@ -301,7 +311,8 @@ def build_transformer_rig(
                speculator=speculator, bank=bank, offline_freqs=freqs,
                seed=seed,
                model_factory=lambda: TransformerLayeredLM(
-                   cfg, seed=seed, max_tokens=max_tokens))
+                   cfg, seed=seed, max_tokens=max_tokens),
+               priced_as=priced_as)
 
 
 @dataclass

@@ -138,8 +138,27 @@ class LayeredLM(abc.ABC):
         return np.stack([self.layer_forward(state, layer) for state in states])
 
     def lm_head_full_batch(self, hidden: np.ndarray) -> np.ndarray:
-        """Full-vocabulary logits for a ``[B, hidden]`` batch."""
+        """Full-vocabulary logits for a ``[B, hidden]`` batch.
+
+        Tries one :meth:`lm_head_full` call over the whole batch — a single
+        GEMM for heads that broadcast over a leading batch axis — and only
+        falls back to per-row projection for backends whose head cannot.
+        """
+        hidden = np.asarray(hidden)
+        try:
+            logits = np.asarray(self.lm_head_full(hidden))
+        except Exception:
+            logits = None
+        if logits is not None and logits.shape == (hidden.shape[0], self.vocab_size):
+            return logits
         return np.stack([self.lm_head_full(h) for h in hidden])
+
+    def lm_head_slice_batch(self, hidden: np.ndarray, token_ids: np.ndarray) -> np.ndarray:
+        """Sliced logits ``[B, len(token_ids)]`` for a ``[B, hidden]`` batch
+        over one shared candidate set — the batched speculative LM head.
+        Batched backends override this with a single ``[B, dim] x [dim, k]``
+        GEMM; the default loops per row."""
+        return np.stack([self.lm_head_slice(h, token_ids) for h in hidden])
 
     def commit_batch(
         self,
@@ -187,6 +206,29 @@ class LayeredLM(abc.ABC):
         tokens = [int(t) for t in np.argmax(logits, axis=-1)]
         self.commit_batch(states, tokens, exits)
         return tokens
+
+    # -- preemption (serving) ------------------------------------------------
+    # The async serving engine evicts sequences under KV pressure.  Modelled
+    # costs (KV_SWAP traffic, recompute prefill) are charged by the engine;
+    # these hooks keep any *real* per-state tensors consistent with that
+    # story.  Stateless backends (the synthetic LM recomputes activations
+    # from plans) need no action, so the defaults are no-ops.
+    def swap_out_state(self, state: LMState) -> None:
+        """Evict ``state``'s device KV to host memory (swap preemption).
+
+        Backends with real KV tensors must move them bit-exactly to a
+        host-side blob so :meth:`swap_in_state` can restore them."""
+
+    def swap_in_state(self, state: LMState) -> None:
+        """Restore KV previously evicted by :meth:`swap_out_state`."""
+
+    def drop_state_kv(self, state: LMState) -> None:
+        """Discard ``state``'s device KV outright (recompute preemption)."""
+
+    def recompute_state(self, state: LMState) -> None:
+        """Rebuild KV dropped by :meth:`drop_state_kv` by deterministically
+        replaying ``state``'s context at full depth.  Must leave the state
+        indistinguishable from one that was never preempted."""
 
     # -- conveniences --------------------------------------------------------
     def run_to_layer(self, state: LMState, layer: int) -> np.ndarray:

@@ -29,6 +29,7 @@ class TransformerState(LMState):
         super().__init__(context=context, prompt_len=prompt_len)
         self.cache = cache
         self.hidden: Optional[np.ndarray] = None  # [1, dim] current activations
+        self.host_kv: Optional[dict] = None  # swap-out blob while preempted
 
 
 class TransformerLayeredLM(LayeredLM):
@@ -149,6 +150,12 @@ class TransformerLayeredLM(LayeredLM):
         """Final norm + LM-head projection of the whole ``[B, dim]`` batch."""
         return self.lm.lm_head(hidden)
 
+    def lm_head_slice_batch(self, hidden: np.ndarray, token_ids: np.ndarray) -> np.ndarray:
+        """Speculative LM head for the whole batch: the final norm broadcasts
+        over rows and the column slice makes it one ``[B, dim] x [dim, k]``
+        GEMM."""
+        return self.lm.lm_head_slice(hidden, token_ids)
+
     def commit_batch(
         self,
         states: Sequence[TransformerState],
@@ -183,3 +190,40 @@ class TransformerLayeredLM(LayeredLM):
             state.step_index += 1
             state.hidden = None
             state.layer_cursor = -1
+
+    # -- preemption (serving) ------------------------------------------------
+    def swap_out_state(self, state: TransformerState) -> None:
+        """Move the real KV tensors to a host blob, bit for bit."""
+        state.host_kv = state.cache.swap_out()
+
+    def swap_in_state(self, state: TransformerState) -> None:
+        """Restore the tensors evicted by :meth:`swap_out_state` bit-exactly."""
+        if state.host_kv is None:
+            raise RuntimeError("swap_in_state without a prior swap_out_state")
+        state.cache.swap_in(state.host_kv)
+        state.host_kv = None
+
+    def drop_state_kv(self, state: TransformerState) -> None:
+        """Free the device KV entirely; :meth:`recompute_state` rebuilds it."""
+        state.cache = self.lm.new_cache(self.max_tokens)
+        state.host_kv = None
+
+    def recompute_state(self, state: TransformerState) -> None:
+        """Rebuild dropped KV by deterministic full-depth replay.
+
+        Every commit fills all layers' KV for the step's input token
+        (hidden-state propagation continues the exit hidden through the
+        remaining layers), so the cache content never depends on where the
+        sequence exited: entry ``j < prompt_len`` is prompt token ``j`` at
+        position ``j``, and each decode step appended its input token — the
+        previous context tail — at its decode position.  One prefill-shaped
+        pass over that token stream reproduces the cache, so resumed decode
+        matches an uninterrupted run token for token.
+        """
+        p, n = state.prompt_len, len(state.context)
+        tokens = state.context[:p] + state.context[p - 1 : n - 1]
+        positions = list(range(p)) + list(range(p - 1, n - 1))
+        state.cache = self.lm.new_cache(self.max_tokens)
+        state.host_kv = None
+        self.lm.forward_all(np.asarray(tokens, dtype=np.int64), state.cache,
+                            np.asarray(positions, dtype=np.int64))

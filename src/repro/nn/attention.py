@@ -39,7 +39,8 @@ class KVCache:
         self.n_kv_heads = n_kv_heads
         self.head_dim = head_dim
         self.max_tokens = max_tokens
-        self._capacity = min(max_tokens, initial_tokens)
+        self._initial = min(max_tokens, initial_tokens)
+        self._capacity = self._initial
         self._k = np.zeros((n_layers, n_kv_heads, self._capacity, head_dim))
         self._v = np.zeros((n_layers, n_kv_heads, self._capacity, head_dim))
         self._lengths = np.zeros(n_layers, dtype=np.int64)
@@ -95,6 +96,35 @@ class KVCache:
 
     def nbytes(self) -> int:
         return self._k.nbytes + self._v.nbytes
+
+    def swap_out(self) -> dict:
+        """Evict the filled KV prefix to a host-side blob (bit-exact copies).
+
+        Device storage shrinks back to the initial allocation; the returned
+        blob carries everything :meth:`swap_in` needs to restore the cache
+        exactly.  This is the real-tensor counterpart of the serving engine's
+        modelled ``KV_SWAP`` transfer.
+        """
+        n = int(self._lengths.max()) if self.n_layers else 0
+        blob = {
+            "k": self._k[:, :, :n].copy(),
+            "v": self._v[:, :, :n].copy(),
+            "lengths": self._lengths.copy(),
+        }
+        self._capacity = self._initial
+        self._k = np.zeros((self.n_layers, self.n_kv_heads, self._capacity, self.head_dim))
+        self._v = np.zeros_like(self._k)
+        self._lengths = np.zeros(self.n_layers, dtype=np.int64)
+        return blob
+
+    def swap_in(self, blob: dict) -> None:
+        """Restore a prefix previously evicted by :meth:`swap_out`."""
+        lengths = np.asarray(blob["lengths"], dtype=np.int64)
+        n = int(lengths.max()) if lengths.size else 0
+        self._ensure_capacity(max(n, 1))
+        self._k[:, :, :n] = blob["k"]
+        self._v[:, :, :n] = blob["v"]
+        self._lengths = lengths.copy()
 
 
 class CausalSelfAttention:

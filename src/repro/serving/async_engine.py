@@ -30,7 +30,16 @@ Preempted-then-resumed sequences are token-identical to uninterrupted
 decoding: the per-sequence model state and predictor scheduler survive
 preemption on the host (as they do in real servers — only device KV is
 evicted), swap-in restores cache contents bit-exactly, and recompute rebuilds
-them from the recorded exit hidden states.
+them from the recorded exit hidden states.  Backends with real KV tensors
+participate through the :class:`~repro.model.base.LayeredLM` preemption
+hooks: swap moves the transformer's :class:`~repro.nn.attention.KVCache` to
+a host blob bit for bit, and recompute replays the context at full depth on
+resume — both alongside the modelled ``KV_SWAP``/``PREFILL_LAYER`` charges.
+
+Backends that support batched decode (``supports_batched_decode``) run each
+tick's decode through :meth:`SpecEEEngine.step_batch`, so the transformer
+serves real ``[B, dim]`` math under the async scheduler; the report then
+carries wall-clock time and measured tokens/s next to the modelled clock.
 
 Passing a :class:`~repro.distributed.ClusterSpec` runs the same trace on a
 modelled ``tp x pp`` cluster: ticks are priced by
@@ -60,6 +69,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -159,6 +169,7 @@ class AsyncServingReport:
     sequential_ledger: CostLedger = field(default_factory=CostLedger)
     n_steps: int = 0
     makespan_s: float = 0.0
+    wall_time_s: float = float("nan")
     sequential_time_s: float = float("nan")
     batch_occupancy: List[int] = field(default_factory=list)
     tick_seconds: List[float] = field(default_factory=list)
@@ -180,6 +191,15 @@ class AsyncServingReport:
         if self.makespan_s <= 0:
             return float("nan")
         return self.total_tokens / self.makespan_s
+
+    @property
+    def measured_tps(self) -> float:
+        """Real tokens per wall-clock second of this process — reported next
+        to the modelled clock, which prices the run as the priced model on
+        the priced device regardless of how fast numpy actually ran."""
+        if math.isnan(self.wall_time_s) or self.wall_time_s <= 0:
+            return float("nan")
+        return self.total_tokens / self.wall_time_s
 
     @property
     def sequential_tps(self) -> float:
@@ -270,6 +290,7 @@ class AsyncServingEngine:
         chunk_prefill_tokens: Optional[int] = 32,
         scheduling: Union[str, SchedulingPolicy] = "fifo_priority",
         cluster=None,
+        batched: Optional[bool] = None,
     ):
         """Build the async server.
 
@@ -279,7 +300,10 @@ class AsyncServingEngine:
         pipeline stage (``kv_blocks`` blocks on each stage device).
         ``scheduling`` picks the :class:`SchedulingPolicy` that orders
         admission/service and selects preemption victims (``"fifo_priority"``
-        or ``"edf"``, or a policy instance).
+        or ``"edf"``, or a policy instance).  ``batched`` routes each tick's
+        decode through :meth:`SpecEEEngine.step_batch` (real ``[B, dim]``
+        math on backends that support it); the default follows the model's
+        ``supports_batched_decode``.
         """
         if admission not in ADMISSION_MODES:
             raise ValueError(f"admission must be one of {ADMISSION_MODES}")
@@ -310,6 +334,8 @@ class AsyncServingEngine:
         self.preemption = preemption
         self.chunk_prefill_tokens = chunk_prefill_tokens
         self.scheduling = make_scheduling_policy(scheduling)
+        self.batched = (engine.model.supports_batched_decode
+                        if batched is None else bool(batched))
         # Service-rate estimate for deadline slack: starts at the roofline
         # full-depth token time, replaced by the run's observed tick time
         # once ticks exist (see _service_estimate_s).
@@ -325,6 +351,7 @@ class AsyncServingEngine:
         self.step_count = 0
         self.now_s = 0.0
         self._prompt_tokens = 0
+        self._wall_start = time.perf_counter()
 
     # -- tick phases ---------------------------------------------------------
     def _service_estimate_s(self) -> float:
@@ -385,6 +412,7 @@ class AsyncServingEngine:
                 moved = self.cache.swap_in(slot.request_id)
                 tick.add(Event.KV_SWAP, calls=1, units=moved)
                 slot.swapped_tokens += moved
+                self.engine.model.swap_in_state(slot.state)
             else:  # recompute: rebuild paged KV from the recorded exit states
                 self.cache.add_sequence(slot.request_id)
                 for record in slot.result.records:
@@ -395,6 +423,7 @@ class AsyncServingEngine:
                          calls=self.engine.model.n_layers,
                          units=self.engine.model.n_layers * context)
                 slot.recomputes += 1
+                self.engine.model.recompute_state(slot.state)
             slot.resume_mode = None
             self.running.append(slot)
 
@@ -464,10 +493,12 @@ class AsyncServingEngine:
             slot.swapped_tokens += moved
             slot.swaps += 1
             slot.resume_mode = "swap"
+            self.engine.model.swap_out_state(slot.state)
         else:
             # Nothing decoded yet degenerates to recompute (nothing to save).
             self.cache.free_sequence(slot.request_id)
             slot.resume_mode = "recompute"
+            self.engine.model.drop_state_kv(slot.state)
         slot.preemptions += 1
         self.running.remove(slot)
         self.preempted.append(slot)
@@ -504,12 +535,29 @@ class AsyncServingEngine:
             runnable.remove(victim)
 
     def _decode(self, runnable: List[AsyncSequence], tick: CostLedger) -> List[int]:
+        """Advance every runnable sequence one token.
+
+        With :attr:`batched` set the whole tick runs through
+        :meth:`SpecEEEngine.step_batch` (one layer pass over the live batch,
+        shrinking as sequences exit); otherwise sequences step one at a time.
+        Either way each sequence keeps its own ledger, and the per-sequence
+        ``DECODER_LAYER`` calls are dropped from the tick in favour of the
+        rebatched ``BATCH_DECODER_LAYER`` events recorded below.
+        """
         depths: List[int] = []
         dropped_layers = 0.0
-        for slot in runnable:
-            before = slot.result.ledger.snapshot()
-            record = self.engine.step(slot.state, slot.result,
-                                      scheduler=slot.scheduler, capture_hidden=True)
+        befores = [slot.result.ledger.snapshot() for slot in runnable]
+        if self.batched:
+            records = self.engine.step_batch(
+                [slot.state for slot in runnable],
+                [slot.result for slot in runnable],
+                [slot.scheduler for slot in runnable], capture_hidden=True)
+        else:
+            records = [self.engine.step(slot.state, slot.result,
+                                        scheduler=slot.scheduler,
+                                        capture_hidden=True)
+                       for slot in runnable]
+        for slot, before, record in zip(runnable, befores, records):
             delta = slot.result.ledger.delta_since(before)
             dropped_layers += delta.calls(Event.DECODER_LAYER)
             delta.drop(Event.DECODER_LAYER)
@@ -577,6 +625,7 @@ class AsyncServingEngine:
         self.waiting, self.running, self.preempted = [], [], []
         self.reserved_blocks, self.step_count, self.now_s = 0, 0, 0.0
         self._prompt_tokens = 0
+        self._wall_start = time.perf_counter()
         self._service_s = self._per_token_s
         # Fresh pool every run: a previous run that died mid-flight (e.g. the
         # preemption="never" MemoryError) must not leak blocks into this one.
@@ -668,6 +717,7 @@ class AsyncServingEngine:
         report = self.report
         report.n_steps = self.step_count
         report.makespan_s = self.now_s
+        report.wall_time_s = time.perf_counter() - self._wall_start
         report.serving_ledger.steps = self.step_count
         report.serving_ledger.prompt_tokens = self._prompt_tokens
         for result in report.results.values():

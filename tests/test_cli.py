@@ -131,7 +131,23 @@ class TestFleetServe:
                      "--trace", "poisson"]) == 2
         assert "--clients" in capsys.readouterr().err
 
-    def test_transformer_backend_rejects_fleet(self, capsys):
+    def test_replicas_below_one_errors(self, capsys):
+        assert main(["serve", "--replicas", "0", "--trace", "poisson"]) == 2
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_transformer_backend_fleet(self, capsys):
         assert main(["serve", "--backend", "transformer",
-                     "--replicas", "2", "--trace", "poisson"]) == 2
-        assert "closed-batch serving" in capsys.readouterr().err
+                     "--replicas", "2", "--trace", "poisson",
+                     "--requests", "4", "--max-new-tokens", "6",
+                     "--batch-capacity", "4", "--kv-blocks", "16",
+                     "--block-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet serving: 2x tiny-transformer (priced as llama2-7b)" in out
+        assert "requests per replica" in out
+
+    def test_transformer_backend_closed_clients(self, capsys):
+        assert main(["serve", "--backend", "transformer",
+                     "--clients", "closed:2", "--requests", "4",
+                     "--max-new-tokens", "6", "--batch-capacity", "4",
+                     "--kv-blocks", "16", "--block-size", "4"]) == 0
+        assert "closed:2 clients" in capsys.readouterr().out

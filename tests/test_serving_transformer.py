@@ -8,8 +8,10 @@ import pytest
 
 from repro.cli import main
 from repro.config import SpecEEConfig, get_model_spec
+from repro.distributed.cluster import make_cluster
 from repro.eval.harness import build_transformer_rig
 from repro.hardware.ledger import Event
+from repro.nn.attention import KVCache
 from repro.nn.transformer import TransformerConfig
 from repro.serving import Request
 
@@ -40,6 +42,22 @@ def run_serving(rig, batched, config=None, capacity=4):
     serving = rig.serving_engine(batch_capacity=capacity, kv_blocks=256,
                                  block_size=8, batched=batched, config=config)
     return serving.run(ragged_requests())
+
+
+def burst_requests(n=4, tokens=10):
+    """Same-instant arrivals with enough decode KV demand that an 8-block
+    pool (see ``tight_async``) must preempt to make progress."""
+    return [Request(i, [(i * 7 + j) % 128 + 1 for j in range(3 + i)], tokens)
+            for i in range(n)]
+
+
+def tight_async(rig, **overrides):
+    """Async engine whose KV pool is far below the batch's worst case."""
+    kwargs = dict(batch_capacity=4, kv_blocks=8, block_size=4,
+                  admission="optimistic", preemption="auto",
+                  chunk_prefill_tokens=8, config=EXITY_CFG)
+    kwargs.update(overrides)
+    return rig.async_serving_engine(**kwargs)
 
 
 class TestBatchedIdentity:
@@ -134,6 +152,182 @@ class TestSchedulerIsolation:
                {i: r.tokens for i, r in reports[False].results.items()}
 
 
+class TestRealKVPreemption:
+    """The real-tensor side of preemption: :class:`KVCache` swap blobs and
+    the :class:`LayeredLM` preemption hooks the async engine drives."""
+
+    def test_kv_cache_swap_roundtrip_bit_exact(self):
+        cache = KVCache(n_layers=2, n_kv_heads=2, head_dim=4, max_tokens=64,
+                        initial_tokens=4)
+        rng = np.random.default_rng(0)
+        kept = []
+        for layer in range(2):
+            k, v = rng.normal(size=(2, 7, 4)), rng.normal(size=(2, 7, 4))
+            cache.append(layer, k, v)
+            kept.append((k.copy(), v.copy()))
+        blob = cache.swap_out()
+        # Eviction really freed the device side: back to the initial alloc.
+        assert cache.length(0) == 0 and cache.length(1) == 0
+        assert cache.capacity == 4
+        cache.swap_in(blob)
+        for layer, (k, v) in enumerate(kept):
+            assert np.array_equal(cache.view(layer)[0], k)
+            assert np.array_equal(cache.view(layer)[1], v)
+
+    def _decode(self, rig, interrupt, mode):
+        """8 decode steps; optionally preempt-and-resume after step 3."""
+        engine = rig.specee_engine(config=EXITY_CFG)
+        state, result = engine.prefill([5, 9, 2, 44, 17])
+        for step in range(8):
+            if step == 3 and interrupt:
+                if mode == "swap":
+                    rig.model.swap_out_state(state)
+                    assert state.host_kv is not None
+                    assert state.cache.length(0) == 0  # device side evicted
+                    rig.model.swap_in_state(state)
+                else:
+                    rig.model.drop_state_kv(state)
+                    rig.model.recompute_state(state)
+            engine.step(state, result)
+        return result
+
+    def test_mid_decode_swap_roundtrip_token_identical(self, rig):
+        ref = self._decode(rig, interrupt=False, mode="swap")
+        out = self._decode(rig, interrupt=True, mode="swap")
+        assert out.tokens == ref.tokens and out.exit_layers == ref.exit_layers
+
+    def test_mid_decode_recompute_token_identical(self, rig):
+        ref = self._decode(rig, interrupt=False, mode="recompute")
+        out = self._decode(rig, interrupt=True, mode="recompute")
+        assert out.tokens == ref.tokens and out.exit_layers == ref.exit_layers
+
+    def test_swap_in_without_swap_out_raises(self, rig):
+        engine = rig.specee_engine(config=EXITY_CFG)
+        state, _ = engine.prefill([5, 9, 2])
+        with pytest.raises(RuntimeError, match="swap_out_state"):
+            rig.model.swap_in_state(state)
+
+
+class TestAsyncTransformer:
+    """The async/trace engine driving the real transformer: preempted then
+    resumed sequences must be token-identical to undisturbed sync serving."""
+
+    def reference(self, rig, requests):
+        serving = rig.serving_engine(batch_capacity=4, kv_blocks=256,
+                                     block_size=8, config=EXITY_CFG)
+        return serving.run(requests)
+
+    @pytest.mark.parametrize("mode", ["swap", "recompute", "auto"])
+    def test_preempted_resume_token_identical(self, rig, mode):
+        requests = burst_requests()
+        ref = self.reference(rig, burst_requests())
+        report = tight_async(rig, preemption=mode).run(requests)
+        assert report.preemptions > 0, "config must actually exercise preemption"
+        for request in requests:
+            result = report.results[request.request_id]
+            assert result.tokens == ref.results[request.request_id].tokens
+            assert result.exit_layers == ref.results[request.request_id].exit_layers
+        if mode == "swap":
+            assert report.swaps == report.preemptions
+            assert report.serving_ledger.units(Event.KV_SWAP) > 0
+        if mode == "recompute":
+            assert report.recomputes == report.preemptions
+
+    def test_async_matches_sync_without_pressure(self, rig):
+        ref = run_serving(rig, batched=True, config=EXITY_CFG)
+        report = rig.async_serving_engine(
+            batch_capacity=4, kv_blocks=256, block_size=8,
+            config=EXITY_CFG).run(ragged_requests())
+        assert {i: r.tokens for i, r in report.results.items()} == \
+               {i: r.tokens for i, r in ref.results.items()}
+
+    def test_scalar_fallback_identical(self, rig):
+        requests = burst_requests()
+        batched = tight_async(rig, batched=True).run(requests)
+        scalar = tight_async(rig, batched=False).run(requests)
+        assert {i: r.tokens for i, r in batched.results.items()} == \
+               {i: r.tokens for i, r in scalar.results.items()}
+
+    def test_wall_clock_reported(self, rig):
+        report = tight_async(rig).run(burst_requests())
+        assert report.wall_time_s > 0.0
+        assert np.isfinite(report.measured_tps) and report.measured_tps > 0.0
+
+
+class TestShardedTransformer:
+    """tp/pp sharding is a ledger rewrite: the sharded transformer decode
+    must stay token-identical to the single-device run, sync and async."""
+
+    def test_sync_sharded_tokens_identical(self, rig):
+        single = run_serving(rig, batched=True, config=EXITY_CFG)
+        serving = rig.serving_engine(
+            batch_capacity=4, kv_blocks=256, block_size=8, config=EXITY_CFG,
+            cluster=make_cluster("a100-80g", tp=2, pp=2))
+        sharded = serving.run(ragged_requests())
+        assert {i: r.tokens for i, r in sharded.results.items()} == \
+               {i: r.tokens for i, r in single.results.items()}
+        assert {i: r.exit_layers for i, r in sharded.results.items()} == \
+               {i: r.exit_layers for i, r in single.results.items()}
+        assert sharded.serving_ledger.calls(Event.ALLREDUCE) > 0
+
+    def test_async_sharded_tokens_identical(self, rig):
+        requests = ragged_requests()
+        kwargs = dict(batch_capacity=4, kv_blocks=64, block_size=8,
+                      config=EXITY_CFG)
+        single = rig.async_serving_engine(**kwargs).run(requests)
+        sharded = rig.async_serving_engine(
+            cluster=make_cluster("a100-80g", tp=2, pp=2), **kwargs,
+        ).run(ragged_requests())
+        assert {i: r.tokens for i, r in sharded.results.items()} == \
+               {i: r.tokens for i, r in single.results.items()}
+        assert sharded.serving_ledger.calls(Event.PIPELINE_BUBBLE) > 0
+
+
+class TestBatchedPredictorPath:
+    """The vectorized speculative-head/feature/predictor tick must make the
+    same exit decisions and charge the same ledgers as the python loop."""
+
+    def run_with_flag(self, rig, flag, scheduler_kind="two_level", config=None):
+        serving = rig.serving_engine(
+            scheduler_kind=scheduler_kind, batch_capacity=4, kv_blocks=256,
+            block_size=8, batched=True, config=config or EXITY_CFG)
+        serving.engine.batched_predictors = flag
+        return serving.run(ragged_requests())
+
+    def test_decisions_identical_to_per_sequence(self, rig):
+        batched = self.run_with_flag(rig, True)
+        scalar = self.run_with_flag(rig, False)
+        assert {i: r.tokens for i, r in batched.results.items()} == \
+               {i: r.tokens for i, r in scalar.results.items()}
+        assert {i: r.exit_layers for i, r in batched.results.items()} == \
+               {i: r.exit_layers for i, r in scalar.results.items()}
+        for kind in (Event.DECODER_LAYER, Event.LM_HEAD_SLICE, Event.PREDICTOR,
+                     Event.LM_HEAD_FULL, Event.KV_FILL):
+            assert batched.sequential_ledger.calls(kind) == \
+                   scalar.sequential_ledger.calls(kind), kind
+            assert batched.sequential_ledger.units(kind) == \
+                   scalar.sequential_ledger.units(kind), kind
+
+    def test_identical_under_verified_exits(self, rig):
+        cfg = SpecEEConfig(exit_threshold=0.35, min_exit_layer=1,
+                           scheduler="all", verify_on_exit=True)
+        batched = self.run_with_flag(rig, True, config=cfg)
+        scalar = self.run_with_flag(rig, False, config=cfg)
+        assert {i: r.tokens for i, r in batched.results.items()} == \
+               {i: r.tokens for i, r in scalar.results.items()}
+
+    def test_identical_under_online_scheduler(self, rig):
+        cfg = SpecEEConfig(exit_threshold=0.35, min_exit_layer=1,
+                           scheduler="online", verify_on_exit=False)
+        batched = self.run_with_flag(rig, True, "online", cfg)
+        scalar = self.run_with_flag(rig, False, "online", cfg)
+        assert {i: r.tokens for i, r in batched.results.items()} == \
+               {i: r.tokens for i, r in scalar.results.items()}
+
+    def test_default_is_batched(self, rig):
+        assert rig.specee_engine(config=EXITY_CFG).batched_predictors is True
+
+
 class TestTransformerServeCli:
     def test_serve_transformer_backend(self, capsys):
         assert main(["serve", "--backend", "transformer", "--requests", "3",
@@ -143,14 +337,22 @@ class TestTransformerServeCli:
         assert "measured tokens/s (wall-clock)" in out
         assert "batched decode" in out
 
-    def test_transformer_rejects_sharding(self, capsys):
-        assert main(["serve", "--backend", "transformer", "--tp", "2"]) == 2
-        assert "--tp/--pp" in capsys.readouterr().err
+    def test_serve_transformer_sharded(self, capsys):
+        assert main(["serve", "--backend", "transformer", "--tp", "2",
+                     "--pp", "2", "--requests", "3", "--max-new-tokens", "6",
+                     "--batch-capacity", "2", "--kv-blocks", "64",
+                     "--block-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tp=2 pp=2" in out
+        assert "tiny-transformer (priced as llama2-7b)" in out
 
-    def test_transformer_rejects_trace(self, capsys):
-        assert main(["serve", "--backend", "transformer",
-                     "--trace", "poisson"]) == 2
-        assert "closed-batch" in capsys.readouterr().err
+    def test_serve_transformer_trace(self, capsys):
+        assert main(["serve", "--backend", "transformer", "--trace", "poisson",
+                     "--requests", "4", "--max-new-tokens", "6",
+                     "--kv-blocks", "64", "--block-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "async serving: tiny-transformer (priced as llama2-7b)" in out
+        assert "measured tokens/s (wall-clock)" in out
 
     def test_synthetic_backend_unchanged_default(self):
         from repro.cli import build_parser
