@@ -1,0 +1,176 @@
+"""Adaptive speculation control benchmark: pressure/bandit vs static exit policy.
+
+One Poisson trace per load level (low / medium / overload offered rates) is
+served by a single-replica EDF engine under the control matrix
+
+    {off, static, pressure, bandit} x {low, medium, overload}.
+
+``off`` runs with no controller at all and ``static`` runs the controller
+with the neutral policy — the two must be token-identical at every level,
+which pins the controller's plumbing cost at exactly zero.  The gated claim
+is at overload: an adaptive policy (pressure or bandit) must deliver at
+least 1.10x the goodput of static.  The winning move is *not* "exit
+earlier": in a batched tick the decoder layers amortise across the batch
+while every failed verification pays a full, unamortised LM-head GEMV, so
+the adaptive policies raise the exit bar and shorten the draft under load.
+The idle-quality gate checks the flip side: at low load the pressure policy
+must not run shallower than static (layers/token ratio >= 1.0).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_adaptive_control.py [--json OUT]
+"""
+
+import json
+
+from repro.eval.harness import build_rig
+from repro.serving import poisson_trace
+
+FLEET = dict(batch_capacity=4, kv_blocks=24, block_size=4,
+             chunk_prefill_tokens=16)
+# Offered load per replica, in requests per modelled second.  "low" leaves
+# slack (SLO attainment near 1), "overload" offers ~6x the sustainable rate.
+LEVELS = (("low", 4.0), ("medium", 10.0), ("overload", 24.0))
+CONTROLS = ("off", "static", "pressure", "bandit")
+
+
+def run_adaptive_control_benchmark(
+    n_requests: int = 32,
+    slo_scale: float = 2.5,
+    priority_levels: int = 3,
+    max_new_tokens_range: tuple = (16, 48),
+    prompt_len_range: tuple = (8, 48),
+    model: str = "llama2-7b",
+    device: str = "a100-80g",
+    framework: str = "vllm",
+    seed: int = 0,
+):
+    rig = build_rig(model, seed=seed, train_prompts=6, train_tokens=30,
+                    predictor_hidden=128, epochs=10)
+    traces = {}
+    reports = {}
+    for level, rate_per_s in LEVELS:
+        fleets = {
+            control: rig.router_fleet(
+                1, route="round_robin", scheduling="edf",
+                device=device, framework=framework,
+                control=None if control == "off" else control,
+                control_seed=seed, **FLEET)
+            for control in CONTROLS
+        }
+        # Deadlines scale from the same latency model that prices every run.
+        per_token_s = (fleets["off"].replicas[0]
+                       .latency.full_depth_token_time())
+        trace = poisson_trace(
+            n_requests, rate_per_s, rig.model.vocab_size, seed=seed + 7,
+            prompt_len_range=prompt_len_range,
+            max_new_tokens_range=max_new_tokens_range,
+            slo_scale=slo_scale, per_token_s=per_token_s,
+            priority_levels=priority_levels,
+        )
+        traces[level] = trace
+        for control, fleet in fleets.items():
+            reports[(level, control)] = fleet.run(trace)
+    return traces, reports
+
+
+def summarize(reports) -> dict:
+    out = {}
+    for (level, control), report in reports.items():
+        out[f"{level}+{control}"] = {
+            "requests": len(report.results),
+            "tokens": report.total_tokens,
+            "makespan_s": round(report.makespan_s, 4),
+            "throughput_tps": round(report.throughput_tps, 2),
+            "goodput_tps": round(report.goodput_tps, 2),
+            "slo_attainment": round(report.slo_attainment, 4),
+            "p95_latency_s": round(report.p95_latency_s(), 4),
+            "layers_per_token": round(report.replica_layers_per_token[0], 3),
+            "threshold_offset": round(report.replica_threshold_offsets[0], 4),
+        }
+    static = reports[("overload", "static")]
+    adaptive = max(reports[("overload", "pressure")].goodput_tps,
+                   reports[("overload", "bandit")].goodput_tps)
+    idle_static = reports[("low", "static")].replica_layers_per_token[0]
+    idle_pressure = reports[("low", "pressure")].replica_layers_per_token[0]
+    out["gates"] = {
+        "overload_adaptive_goodput": round(adaptive, 2),
+        "overload_adaptive_gain": round(adaptive / static.goodput_tps, 4),
+        "idle_quality_ratio": round(idle_pressure / idle_static, 4),
+    }
+    return out
+
+
+def render(traces, reports) -> str:
+    lines = []
+    for level, rate in LEVELS:
+        trace = traces[level]
+        static = reports[(level, "static")]
+        lines.append(
+            f"=== {level}: {len(trace)} requests @ {rate:.0f}/s, "
+            f"{trace.offered_tokens} decode tokens")
+        for control in CONTROLS:
+            r = reports[(level, control)]
+            gain = r.goodput_tps / static.goodput_tps
+            lines.append(
+                f"{control:>9} goodput={r.goodput_tps:7.1f} ({gain:5.2f}x) "
+                f"slo={r.slo_attainment:.0%} "
+                f"layers/tok={r.replica_layers_per_token[0]:5.2f} "
+                f"offset={r.replica_threshold_offsets[0]:+.2f}")
+    static = reports[("overload", "static")]
+    adaptive = max(reports[("overload", "pressure")].goodput_tps,
+                   reports[("overload", "bandit")].goodput_tps)
+    lines.append(
+        f"   overload gain: goodput x{adaptive / static.goodput_tps:.2f} "
+        f"(best adaptive vs static)")
+    return "\n".join(lines)
+
+
+def check(traces, reports) -> None:
+    # The neutral controller must be invisible: token-identical to no
+    # controller for every request at every load level.
+    for level, _ in LEVELS:
+        off = reports[(level, "off")]
+        static = reports[(level, "static")]
+        for request in traces[level]:
+            assert (static.results[request.request_id].tokens
+                    == off.results[request.request_id].tokens), (
+                f"{level}: static controller diverged from off on "
+                f"request {request.request_id}")
+    overload_static = reports[("overload", "static")]
+    assert overload_static.slo_attainment < 1.0, (
+        "overload level exerts no deadline pressure; nothing to gate")
+    adaptive = max(reports[("overload", "pressure")].goodput_tps,
+                   reports[("overload", "bandit")].goodput_tps)
+    gain = adaptive / overload_static.goodput_tps
+    assert gain >= 1.10, (
+        f"adaptive goodput gain {gain:.3f}x at overload is below the "
+        f"1.10x bar (adaptive {adaptive:.1f} vs static "
+        f"{overload_static.goodput_tps:.1f})")
+    idle_static = reports[("low", "static")].replica_layers_per_token[0]
+    idle_pressure = reports[("low", "pressure")].replica_layers_per_token[0]
+    assert idle_pressure >= idle_static, (
+        f"pressure policy runs shallower than static at low load "
+        f"({idle_pressure:.2f} < {idle_static:.2f} layers/token): "
+        f"idle quality regressed")
+
+
+def test_bench_adaptive_control(benchmark):
+    traces, reports = benchmark.pedantic(run_adaptive_control_benchmark,
+                                         rounds=1, iterations=1)
+    print()
+    print(render(traces, reports))
+    check(traces, reports)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, help="write metrics JSON here")
+    args = parser.parse_args()
+    traces, reports = run_adaptive_control_benchmark()
+    print(render(traces, reports))
+    check(traces, reports)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summarize(reports), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")

@@ -64,6 +64,11 @@ GATES = {
         Modelled("gates.edf_exit_aware_goodput"),
         Modelled("gates.goodput_gain"),
     ],
+    "BENCH_adaptive_control.json": [
+        Modelled("gates.overload_adaptive_goodput"),
+        Modelled("gates.overload_adaptive_gain"),
+        Modelled("gates.idle_quality_ratio"),
+    ],
 }
 
 

@@ -20,6 +20,7 @@ from repro.config import MODELS, get_model_spec
 from repro.distributed.cluster import LINKS, make_cluster, make_replica_clusters
 from repro.experiments import REGISTRY
 from repro.hardware.devices import DEVICES
+from repro.serving.control import CONTROL_POLICIES
 from repro.serving.router import ROUTING_POLICIES
 from repro.serving.scheduler import SCHEDULING_POLICIES
 from repro.utils.tables import render_table
@@ -47,7 +48,26 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("name", help="model (llama2-7b, ...) or device (a100-80g, ...)")
 
     serve = sub.add_parser(
-        "serve", help="continuous-batching serving run vs sequential SpecEE")
+        "serve", help="continuous-batching serving run vs sequential SpecEE",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "policy flags and their precedence:\n"
+            "  --sched    orders service *within* one replica (admission/resume\n"
+            "             order, preemption victims); always in effect on the\n"
+            "             async paths (--trace on, or any fleet run).\n"
+            "  --route    picks *which* replica each request lands on; only in\n"
+            "             effect on fleet runs (--replicas > 1 or --clients\n"
+            "             closed:M), after router-level rejection and before\n"
+            "             --sched sees the request.\n"
+            "  --control  adapts *how* each admitted request decodes (exit\n"
+            "             threshold / draft length per tick from observed\n"
+            "             load); applied last, inside the replica, on the same\n"
+            "             async paths as --sched.  'static' is token-identical\n"
+            "             to the pre-controller engine; 'pressure' and\n"
+            "             'bandit' trade exit depth against load.\n"
+            "  A closed batch (--trace off, --replicas 1, --clients open) uses\n"
+            "  none of the three.  --control-seed seeds the bandit only.\n"
+        ))
     serve.add_argument("--backend", default="synthetic",
                        choices=["synthetic", "transformer"],
                        help="decode substrate: the synthetic semantic model, or "
@@ -85,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(SCHEDULING_POLICIES),
                        help="async scheduling policy: service order and "
                             "preemption-victim selection")
+    serve.add_argument("--control", default="static",
+                       choices=sorted(CONTROL_POLICIES),
+                       help="load-adaptive speculation control: per-request "
+                            "exit-threshold/draft-length actuation from "
+                            "observed load (async paths only)")
+    serve.add_argument("--control-seed", type=int, default=0,
+                       help="seed for the bandit control policy's Thompson "
+                            "sampling stream")
     # Data-parallel fleet routing (replicas > 1 or closed-loop clients).
     serve.add_argument("--replicas", type=int, default=1,
                        help="data-parallel replica count (> 1 routes through "
@@ -226,6 +254,7 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
             kv_blocks=args.kv_blocks, block_size=args.block_size,
             admission=args.admission, preemption=args.preemption,
             chunk_prefill_tokens=args.chunk_prefill or None,
+            control=args.control, control_seed=args.control_seed,
         )
         kwargs = _trace_kwargs(
             args, rig, fleet.replicas[0].latency.full_depth_token_time())
@@ -259,6 +288,9 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
         ["requests per replica",
          "/".join(str(c) for c in report.replica_request_counts)],
         ["observed layers/token per replica", layers],
+        ["control policy", report.control],
+        ["mean threshold offset per replica",
+         "/".join(f"{o:+.2f}" for o in report.replica_threshold_offsets)],
     ]
     workload_desc = (f"closed:{n_clients} clients" if n_clients is not None
                      else f"{args.trace} trace")
@@ -266,7 +298,8 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
               if args.backend == "transformer" else args.model)
     title = (f"fleet serving: {args.replicas}x {served} @ "
              f"{args.device}/{args.framework}, tp={args.tp} pp={args.pp}, "
-             f"{workload_desc}, route={args.route}, sched={args.sched}")
+             f"{workload_desc}, route={args.route}, sched={args.sched}, "
+             f"control={args.control}")
     print(render_table(["metric", "value"], rows, title=title), file=out)
     print(f"[serve completed in {elapsed:.1f}s]", file=out)
     return 0
@@ -286,6 +319,7 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
             chunk_prefill_tokens=args.chunk_prefill or None,
             scheduling=args.sched,
             cluster=_cluster_from_args(args),
+            control=args.control, control_seed=args.control_seed,
         )
         # Deadlines scale from the same latency model that prices the run.
         trace_kwargs = _trace_kwargs(
@@ -317,6 +351,8 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
         ["preemptions (swap/recompute)",
          f"{report.preemptions} ({report.swaps}/{report.recomputes})"],
         ["peak host-pool tokens", report.peak_host_tokens],
+        ["control policy", report.control],
+        ["mean threshold offset", f"{report.mean_threshold_offset:+.2f}"],
     ]
     if args.backend == "transformer":
         # Real backend: measured wall-clock numbers next to the modelled ones.
@@ -331,7 +367,7 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
              f"tp={args.tp} pp={args.pp}, {args.trace} trace, "
              f"{args.admission} admission, "
              f"{args.preemption} preemption, chunk={args.chunk_prefill}, "
-             f"sched={args.sched}")
+             f"sched={args.sched}, control={args.control}")
     print(render_table(["metric", "value"], rows, title=title), file=out)
     print(f"[serve completed in {elapsed:.1f}s]", file=out)
     return 0

@@ -32,7 +32,15 @@ from repro.hardware.ledger import CostLedger, Event
 from repro.model.base import LayeredLM, LMState
 from repro.model.draft import Speculator
 
-__all__ = ["StepRecord", "GenerationResult", "SpecEEEngine"]
+__all__ = ["StepRecord", "GenerationResult", "SpecEEEngine", "DRAFT_PAD_MARGIN"]
+
+#: Margin (in logit units) below the row minimum used to pad a
+#: load-shortened draft back to the predictor's trained feature width ``k``:
+#: the padded slot reads as a clearly-losing candidate (softmax weight
+#: ``e^-margin`` of the weakest real one) while staying at the logit scale
+#: the 3k-input MLP was trained on — padding with -inf-like values instead
+#: saturates the MLP and silences the predictor entirely.
+DRAFT_PAD_MARGIN = 6.0
 
 
 @dataclass
@@ -179,6 +187,8 @@ class SpecEEEngine:
         forced: Optional[int] = None,
         scheduler: Optional[Scheduler] = None,
         capture_hidden: bool = False,
+        exit_threshold: Optional[float] = None,
+        draft_len: Optional[int] = None,
     ) -> StepRecord:
         """Advance one sequence by one token.
 
@@ -188,10 +198,26 @@ class SpecEEEngine:
         ``capture_hidden`` copies the exit-layer hidden state onto the
         returned record — the serving scheduler persists it as the token's
         paged-KV payload; plain generation skips the copy.
+
+        ``exit_threshold`` / ``draft_len`` are the adaptive-control actuation
+        points (``repro.serving.control``): the former replaces the configured
+        exit threshold for this token only; the latter truncates the proposed
+        draft to its first ``draft_len`` candidates — fewer LM-head columns
+        sliced per active layer (``LM_HEAD_SLICE`` priced at the truncated
+        width) and fewer candidates verified against.  The draft model still
+        runs at full ``k`` (``DRAFT_STEP`` cost unchanged); truncated feature
+        vectors are padded back to width ``k`` (see :data:`DRAFT_PAD_MARGIN`)
+        so the trained 3k-input predictor MLPs are untouched.  Defaults
+        reproduce the static engine bit for bit.
         """
         model, cfg, ledger = self.model, self.config, result.ledger
         sched = scheduler if scheduler is not None else self.scheduler
+        threshold = cfg.exit_threshold if exit_threshold is None else float(exit_threshold)
+        k = cfg.num_speculative
+        d = k if draft_len is None else max(1, min(k, int(draft_len)))
         spec_tokens = self.speculator.propose(state.context)
+        if d < k:
+            spec_tokens = spec_tokens[:d]
         draft_hit = self.speculator.is_hit(state.context)
         ledger.add(Event.DRAFT_STEP)
         model.begin_step(state)
@@ -213,12 +239,12 @@ class SpecEEEngine:
             if not sched.is_active(layer):
                 continue
             spec_logits = model.lm_head_slice(hidden, spec_tokens)
-            ledger.add(Event.LM_HEAD_SLICE, units=cfg.num_speculative)
-            features = self._extractor.extract(spec_logits)
+            ledger.add(Event.LM_HEAD_SLICE, units=d)
+            features = self._extractor.extract(self._pad_draft_logits(spec_logits, k))
             ledger.add(Event.PREDICTOR)
             predictor_evals += 1
             probability = self.predictors.probability(layer, features)
-            if probability < cfg.exit_threshold:
+            if probability < threshold:
                 continue
             if cfg.verify_on_exit:
                 verify_attempts += 1
@@ -264,12 +290,26 @@ class SpecEEEngine:
         result.records.append(record)
         return record
 
+    @staticmethod
+    def _pad_draft_logits(spec_logits: np.ndarray, k: int) -> np.ndarray:
+        """Pad a truncated draft's sliced logits back to width ``k`` with a
+        clearly-losing in-distribution value (row minimum minus
+        :data:`DRAFT_PAD_MARGIN`); no-op for full-width drafts."""
+        if len(spec_logits) == k:
+            return spec_logits
+        padded = np.full(k, float(np.min(spec_logits)) - DRAFT_PAD_MARGIN,
+                         dtype=np.float64)
+        padded[: len(spec_logits)] = spec_logits
+        return padded
+
     def step_batch(
         self,
         states: Sequence[LMState],
         results: Sequence[GenerationResult],
         schedulers: Sequence[Scheduler],
         capture_hidden: bool = False,
+        exit_thresholds: Optional[Sequence[float]] = None,
+        draft_lens: Optional[Sequence[int]] = None,
     ) -> List[StepRecord]:
         """Advance many sequences by one token each, batching the layer math.
 
@@ -289,6 +329,11 @@ class SpecEEEngine:
         loop.  Backends without real batched math
         (``supports_batched_decode`` False) fall back to a scalar
         :meth:`step` loop.
+
+        ``exit_thresholds`` / ``draft_lens`` carry per-sequence adaptive
+        control overrides (see :meth:`step`), aligned with ``states``; both
+        paths honor them, and ``None`` (the default) reproduces the static
+        engine bit for bit.
         """
         b = len(states)
         if not (b == len(results) == len(schedulers)):
@@ -296,10 +341,19 @@ class SpecEEEngine:
         if b == 0:
             return []
         model, cfg = self.model, self.config
+        k = cfg.num_speculative
+        ths = ([cfg.exit_threshold] * b if exit_thresholds is None
+               else [float(t) for t in exit_thresholds])
+        ds = ([k] * b if draft_lens is None
+              else [max(1, min(k, int(d))) for d in draft_lens])
+        if not (b == len(ths) == len(ds)):
+            raise ValueError("control overrides must align with states")
         if not model.supports_batched_decode:
             return [self.step(state, result, scheduler=sched,
-                              capture_hidden=capture_hidden)
-                    for state, result, sched in zip(states, results, schedulers)]
+                              capture_hidden=capture_hidden,
+                              exit_threshold=th, draft_len=d)
+                    for state, result, sched, th, d
+                    in zip(states, results, schedulers, ths, ds)]
 
         spec_tokens = [self.speculator.propose(state.context) for state in states]
         draft_hits = [self.speculator.is_hit(state.context) for state in states]
@@ -311,7 +365,16 @@ class SpecEEEngine:
             extractor.reset()
 
         n_layers = model.n_layers
-        k = cfg.num_speculative
+        # Load-shortened drafts, padded back to width k by repeating the top
+        # candidate so every row stays rectangular for the union slice; the
+        # padded columns are floored below the row minimum after the gather,
+        # so feature rows match the scalar path's padded vectors exactly.
+        cand = np.stack([
+            spec_tokens[i] if ds[i] == k else
+            np.concatenate([spec_tokens[i][:ds[i]],
+                            np.repeat(spec_tokens[i][:1], k - ds[i])])
+            for i in range(b)])
+        d_arr = np.asarray(ds)
         exit_token: List[Optional[int]] = [None] * b
         exit_layer = [n_layers - 1] * b
         predictor_evals = [0] * b
@@ -345,11 +408,17 @@ class SpecEEEngine:
                     rows = [pos for pos, _ in active]
                     idxs = [i for _, i in active]
                     union, inverse = np.unique(
-                        np.concatenate([spec_tokens[i] for i in idxs]),
+                        np.concatenate([cand[i] for i in idxs]),
                         return_inverse=True)
                     sliced = model.lm_head_slice_batch(new[rows], union)
                     cols = inverse.reshape(len(idxs), k)
                     local = sliced[np.arange(len(idxs))[:, None], cols]
+                    pad = np.arange(k)[None, :] >= d_arr[idxs][:, None]
+                    if pad.any():
+                        # Padded columns gathered token-0's (real) logit, so
+                        # the row min equals the min over the real columns.
+                        floor = local.min(axis=1, keepdims=True) - DRAFT_PAD_MARGIN
+                        local = np.where(pad, floor, local)
                     feats, probs = FeatureExtractor.extract_rows(
                         local, last_probs[idxs], has_last[idxs])
                     last_probs[idxs] = probs
@@ -368,20 +437,22 @@ class SpecEEEngine:
                     if not schedulers[i].is_active(layer):
                         still.append(i)
                         continue
-                    local_logits = model.lm_head_slice(new[pos], spec_tokens[i])
+                    local_logits = model.lm_head_slice(
+                        new[pos], spec_tokens[i][:ds[i]])
                     probability = self.predictors.probability(
-                        layer, extractors[i].extract(local_logits))
+                        layer, extractors[i].extract(
+                            self._pad_draft_logits(local_logits, k)))
                 ledger = results[i].ledger
-                ledger.add(Event.LM_HEAD_SLICE, units=k)
+                ledger.add(Event.LM_HEAD_SLICE, units=ds[i])
                 ledger.add(Event.PREDICTOR)
                 predictor_evals[i] += 1
-                if probability < cfg.exit_threshold:
+                if probability < ths[i]:
                     still.append(i)
                     continue
                 if cfg.verify_on_exit:
                     verify_attempts[i] += 1
                     ledger.add(Event.LM_HEAD_FULL)
-                    verdict = verify_exit(model, new[pos], spec_tokens[i])
+                    verdict = verify_exit(model, new[pos], spec_tokens[i][:ds[i]])
                     if verdict.ok:
                         exit_token[i], exit_layer[i] = verdict.token, layer
                     else:

@@ -211,14 +211,18 @@ class Rig:
 
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
-        replicas = [
-            self.async_serving_engine(
+        replicas = []
+        for index in range(n_replicas):
+            kwargs = dict(async_kwargs)
+            if "control_seed" in kwargs:
+                # Decorrelate per-replica bandit exploration while staying
+                # fully deterministic for a given base seed.
+                kwargs["control_seed"] = kwargs["control_seed"] + index
+            replicas.append(self.async_serving_engine(
                 scheduling=scheduling,
                 cluster=cluster_factory() if cluster_factory else None,
-                **async_kwargs,
-            )
-            for _ in range(n_replicas)
-        ]
+                **kwargs,
+            ))
         return ServingRouter(replicas, route=route)
 
     def fresh_model(self) -> "LayeredLM":

@@ -6,6 +6,17 @@ from repro.serving.async_engine import (
     AsyncServingEngine,
     AsyncServingReport,
 )
+from repro.serving.control import (
+    CONTROL_POLICIES,
+    ControlAction,
+    ControlPolicy,
+    LoadSignal,
+    PressureControlPolicy,
+    SpeculationController,
+    StaticControlPolicy,
+    ThompsonBanditPolicy,
+    make_control_policy,
+)
 from repro.serving.engine import RequestMetrics, ServingEngine, ServingReport
 from repro.serving.paged_kv import BlockAllocator, PagedKVCache
 from repro.serving.request import AdmissionPolicy, Request, RequestQueue
@@ -41,10 +52,18 @@ __all__ = [
     "AsyncServingEngine",
     "AsyncServingReport",
     "BlockAllocator",
+    "CONTROL_POLICIES",
     "ClosedLoopClients",
     "ContinuousBatchScheduler",
+    "ControlAction",
+    "ControlPolicy",
     "EdfPolicy",
     "FifoPriorityPolicy",
+    "LoadSignal",
+    "PressureControlPolicy",
+    "SpeculationController",
+    "StaticControlPolicy",
+    "ThompsonBanditPolicy",
     "PagedKVCache",
     "ROUTING_POLICIES",
     "Request",
@@ -60,6 +79,7 @@ __all__ = [
     "ServingRouter",
     "TickOutcome",
     "bursty_trace",
+    "make_control_policy",
     "make_routing_policy",
     "make_scheduling_policy",
     "poisson_trace",

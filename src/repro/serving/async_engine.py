@@ -81,6 +81,9 @@ from repro.core.scheduling import Scheduler
 from repro.hardware.latency import LatencyModel
 from repro.hardware.ledger import CostLedger, Event
 from repro.model.base import LMState
+from repro.serving.control import (
+    ControlPolicy, LoadSignal, SpeculationController,
+)
 from repro.serving.engine import build_paged_cache, default_scheduler_factory
 from repro.serving.request import AdmissionPolicy, Request
 from repro.serving.scheduler import SchedulingPolicy, make_scheduling_policy
@@ -179,6 +182,11 @@ class AsyncServingReport:
     swaps: int = 0
     recomputes: int = 0
     rejected_with_slo: int = 0
+    #: Adaptive-control policy this run decoded under ("off" = no controller).
+    control: str = "off"
+    #: Mean actuated exit-threshold offset across per-sequence decode
+    #: decisions (0.0 under "off"/"static").
+    mean_threshold_offset: float = 0.0
 
     @property
     def total_tokens(self) -> int:
@@ -291,6 +299,8 @@ class AsyncServingEngine:
         scheduling: Union[str, SchedulingPolicy] = "fifo_priority",
         cluster=None,
         batched: Optional[bool] = None,
+        control: Union[str, ControlPolicy, SpeculationController, None] = None,
+        control_seed: int = 0,
     ):
         """Build the async server.
 
@@ -304,6 +314,14 @@ class AsyncServingEngine:
         decode through :meth:`SpecEEEngine.step_batch` (real ``[B, dim]``
         math on backends that support it); the default follows the model's
         ``supports_batched_decode``.
+
+        ``control`` attaches a load-adaptive :class:`SpeculationController`
+        (``"static"``/``"pressure"``/``"bandit"``, a policy instance, or a
+        prebuilt controller): each decode tick the engine hands it a fresh
+        :meth:`load_signal` and actuates its per-sequence exit-threshold /
+        draft-length overrides.  ``None`` (the default) decodes with the
+        engine's static configuration — token-identical to ``"static"``.
+        ``control_seed`` feeds the bandit's sampling stream.
         """
         if admission not in ADMISSION_MODES:
             raise ValueError(f"admission must be one of {ADMISSION_MODES}")
@@ -336,6 +354,14 @@ class AsyncServingEngine:
         self.scheduling = make_scheduling_policy(scheduling)
         self.batched = (engine.model.supports_batched_decode
                         if batched is None else bool(batched))
+        if control is None:
+            self.controller: Optional[SpeculationController] = None
+        elif isinstance(control, SpeculationController):
+            self.controller = control
+        else:
+            self.controller = SpeculationController(
+                control, k=engine.config.num_speculative,
+                base_threshold=engine.config.exit_threshold, seed=control_seed)
         # Service-rate estimate for deadline slack: starts at the roofline
         # full-depth token time, replaced by the run's observed tick time
         # once ticks exist (see _service_estimate_s).
@@ -547,16 +573,25 @@ class AsyncServingEngine:
         depths: List[int] = []
         dropped_layers = 0.0
         befores = [slot.result.ledger.snapshot() for slot in runnable]
+        exit_ths: Optional[List[float]] = None
+        draft_ls: Optional[List[int]] = None
+        if self.controller is not None and runnable:
+            exit_ths, draft_ls = self.controller.overrides(
+                [slot.request_id for slot in runnable])
         if self.batched:
             records = self.engine.step_batch(
                 [slot.state for slot in runnable],
                 [slot.result for slot in runnable],
-                [slot.scheduler for slot in runnable], capture_hidden=True)
+                [slot.scheduler for slot in runnable], capture_hidden=True,
+                exit_thresholds=exit_ths, draft_lens=draft_ls)
         else:
+            ths = exit_ths if exit_ths is not None else [None] * len(runnable)
+            lens = draft_ls if draft_ls is not None else [None] * len(runnable)
             records = [self.engine.step(slot.state, slot.result,
                                         scheduler=slot.scheduler,
-                                        capture_hidden=True)
-                       for slot in runnable]
+                                        capture_hidden=True,
+                                        exit_threshold=th, draft_len=dl)
+                       for slot, th, dl in zip(runnable, ths, lens)]
         for slot, before, record in zip(runnable, befores, records):
             delta = slot.result.ledger.delta_since(before)
             dropped_layers += delta.calls(Event.DECODER_LAYER)
@@ -627,6 +662,8 @@ class AsyncServingEngine:
         self._prompt_tokens = 0
         self._wall_start = time.perf_counter()
         self._service_s = self._per_token_s
+        if self.controller is not None:
+            self.controller.begin()
         # Fresh pool every run: a previous run that died mid-flight (e.g. the
         # preemption="never" MemoryError) must not leak blocks into this one.
         self.cache = build_paged_cache(
@@ -675,6 +712,10 @@ class AsyncServingEngine:
         if not suppressed:
             runnable = [s for s in self.running if s.decodable and not s.done]
             self._ensure_decode_blocks(runnable, tick)
+            if self.controller is not None:
+                # Signal after admission/preemption resolved, so queue depth
+                # and KV pressure describe the batch this decode will run.
+                self.controller.observe(self.load_signal())
             depths = self._decode(runnable, tick)
         report.batch_occupancy.append(len(depths))
         report.peak_kv_blocks = max(report.peak_kv_blocks, self.cache.blocks_in_use())
@@ -706,6 +747,9 @@ class AsyncServingEngine:
             )
             report.metrics[slot.request_id] = metric
             metrics.append(metric)
+            if self.controller is not None:
+                self.controller.finish(metric.request_id, metric.tokens,
+                                       metric.latency_s, metric.met_slo)
             report.preemptions += slot.preemptions
             report.swaps += slot.swaps
             report.recomputes += slot.recomputes
@@ -723,6 +767,9 @@ class AsyncServingEngine:
         for result in report.results.values():
             report.sequential_ledger.merge(result.ledger)
         report.sequential_time_s = self.latency.price(report.sequential_ledger).total_s
+        report.control = self.control_name
+        if self.controller is not None:
+            report.mean_threshold_offset = self.controller.mean_threshold_offset()
         return report
 
     def run(self, trace: Sequence[Request]) -> AsyncServingReport:
@@ -733,6 +780,40 @@ class AsyncServingEngine:
         return self.finish_report()
 
     # -- fleet-facing load/exit statistics ------------------------------------
+    @property
+    def control_name(self) -> str:
+        """The attached adaptive-control policy's name ("off" = none)."""
+        return "off" if self.controller is None else self.controller.name
+
+    def load_signal(self) -> LoadSignal:
+        """Snapshot this replica's load for the speculation controller.
+
+        Every field is a statistic the engine already maintains for
+        scheduling and routing: live queue depth vs batch capacity, the
+        decode-token backlog, the observed per-token service estimate
+        (:meth:`_service_estimate_s`), mean deadline slack of live
+        deadline-carrying requests at that service rate, paged-KV pool
+        occupancy, and the ledger-observed layers per token.
+        """
+        live = self.running + self.preempted
+        slacks = []
+        for slot in live:
+            if slot.request.deadline_s is None:
+                continue
+            remaining = slot.request.max_new_tokens - len(slot.result.tokens)
+            slacks.append(slot.request.deadline_s
+                          - (self.now_s + remaining * self._service_s))
+        return LoadSignal(
+            now_s=self.now_s,
+            queue_depth=len(self.waiting) + len(live),
+            batch_capacity=self.policy.batch_capacity,
+            backlog_tokens=self.backlog_tokens(),
+            per_token_s=self._service_s,
+            mean_slack_s=float(np.mean(slacks)) if slacks else float("inf"),
+            kv_pressure=self.cache.blocks_in_use() / max(1, self.policy.n_blocks),
+            layers_per_token=self.observed_layers_per_token(),
+        )
+
     def backlog_tokens(self) -> int:
         """Decode tokens still owed to every pending/waiting/live request —
         the queue-depth signal routing policies balance on."""

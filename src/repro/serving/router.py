@@ -166,9 +166,11 @@ class ServingFleetReport:
     assignments: Dict[int, int] = field(default_factory=dict)
     route: str = ""
     scheduling: str = ""
+    control: str = "off"
     rejected: Dict[int, str] = field(default_factory=dict)
     rejected_with_slo: int = 0
     replica_layers_per_token: List[float] = field(default_factory=list)
+    replica_threshold_offsets: List[float] = field(default_factory=list)
 
     @property
     def n_replicas(self) -> int:
@@ -344,6 +346,7 @@ class ServingRouter:
         report = ServingFleetReport(
             route=self.routing.name,
             scheduling=self.replicas[0].scheduling.name,
+            control=self.replicas[0].control_name,
         )
 
         while queue or any(r.has_work for r in self.replicas):
@@ -368,4 +371,6 @@ class ServingRouter:
         report.replica_reports = [r.finish_report() for r in self.replicas]
         report.replica_layers_per_token = [
             r.observed_layers_per_token() for r in self.replicas]
+        report.replica_threshold_offsets = [
+            r.report.mean_threshold_offset for r in self.replicas]
         return report

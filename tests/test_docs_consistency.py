@@ -12,7 +12,8 @@ import pytest
 from repro.cli import build_parser
 from repro.experiments import REGISTRY
 from repro.hardware.ledger import Event
-from repro.serving import ROUTING_POLICIES, SCHEDULING_POLICIES
+from repro.serving import (CONTROL_POLICIES, ROUTING_POLICIES,
+                           SCHEDULING_POLICIES)
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
@@ -110,6 +111,26 @@ class TestCliFlagDocs:
         assert not undocumented, (
             f"serve flags missing from DESIGN.md/README.md: {sorted(undocumented)}")
 
+    def test_control_flags_exist_and_are_documented(self):
+        """The adaptive-control flags must exist on the serve command AND
+        appear in the docs — both directions, so a rename of either side
+        fails loudly."""
+        control_flags = {"--control", "--control-seed"}
+        serve_flags = _option_strings(_cli_subparsers()["serve"])
+        assert control_flags <= serve_flags, (
+            f"serve lost control flags: {sorted(control_flags - serve_flags)}")
+        documented = self.documented_flags()
+        assert control_flags <= documented, (
+            f"control flags undocumented: {sorted(control_flags - documented)}")
+
+    def test_serve_help_explains_policy_precedence(self):
+        """`repro serve --help` must carry the epilog spelling out how
+        --sched, --route and --control interact."""
+        epilog = _cli_subparsers()["serve"].epilog or ""
+        for flag in ("--sched", "--route", "--control"):
+            assert flag in epilog, (
+                f"serve epilog no longer explains {flag}")
+
     def test_fleet_flags_exist_and_are_documented(self):
         """The data-parallel fleet flags must exist on the serve command AND
         appear in the docs — both directions, spelled out so a rename of
@@ -153,12 +174,19 @@ class TestPolicyDocs:
             f"DESIGN.md routing table missing "
             f"{sorted(set(ROUTING_POLICIES) - documented)}")
 
+    def test_control_policies_documented(self):
+        documented = self.design_table_names("**Control policies.**")
+        assert set(CONTROL_POLICIES) <= documented, (
+            f"DESIGN.md control table missing "
+            f"{sorted(set(CONTROL_POLICIES) - documented)}")
+
     def test_cli_choices_match_registries(self):
         serve = _cli_subparsers()["serve"]
         choices = {action.dest: set(action.choices)
                    for action in serve._actions if action.choices}
         assert choices["route"] == set(ROUTING_POLICIES)
         assert choices["sched"] == set(SCHEDULING_POLICIES)
+        assert choices["control"] == set(CONTROL_POLICIES)
 
 
 class TestPublicDocstrings:

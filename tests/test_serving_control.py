@@ -1,0 +1,273 @@
+"""Load-adaptive speculation control: policies, controller actuation,
+engine-level token identity of the neutral policy, and seeded bandit
+determinism."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import build_rig
+from repro.serving import (
+    CONTROL_POLICIES,
+    ControlAction,
+    LoadSignal,
+    PressureControlPolicy,
+    SpeculationController,
+    StaticControlPolicy,
+    ThompsonBanditPolicy,
+    make_control_policy,
+    poisson_trace,
+)
+from repro.serving.control import DEFAULT_ARM_GRID, NEUTRAL_ACTION
+
+
+def signal(queue_depth=0, batch_capacity=4, kv_pressure=0.0,
+           mean_slack_s=float("inf"), **kw):
+    return LoadSignal(queue_depth=queue_depth, batch_capacity=batch_capacity,
+                      kv_pressure=kv_pressure, mean_slack_s=mean_slack_s, **kw)
+
+
+class TestLoadSignal:
+    def test_load_ratio_and_backlog(self):
+        s = LoadSignal(queue_depth=6, batch_capacity=4,
+                       backlog_tokens=100, per_token_s=0.01)
+        assert s.load_ratio == pytest.approx(1.5)
+        assert s.backlog_s == pytest.approx(1.0)
+
+    def test_pressure_is_worst_of_queue_and_kv(self):
+        assert signal(queue_depth=2).pressure == pytest.approx(0.5)
+        assert signal(queue_depth=2, kv_pressure=0.9).pressure == pytest.approx(0.9)
+
+    def test_blown_deadline_bumps_to_overload(self):
+        s = signal(queue_depth=0, mean_slack_s=-0.1)
+        assert s.pressure >= PressureControlPolicy.OVERLOAD_RATIO
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(CONTROL_POLICIES) == {"static", "pressure", "bandit"}
+
+    def test_make_by_name_and_passthrough(self):
+        assert isinstance(make_control_policy("static"), StaticControlPolicy)
+        assert isinstance(make_control_policy("pressure"), PressureControlPolicy)
+        bandit = make_control_policy("bandit", seed=3)
+        assert isinstance(bandit, ThompsonBanditPolicy)
+        assert bandit.seed == 3
+        assert make_control_policy(bandit) is bandit
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown control policy"):
+            make_control_policy("greedy")
+
+
+class TestStaticPolicy:
+    def test_always_neutral(self):
+        policy = StaticControlPolicy()
+        for depth in (0, 4, 100):
+            assert policy.decide(signal(queue_depth=depth)).is_neutral
+
+
+class TestPressurePolicy:
+    def test_bands(self):
+        policy = PressureControlPolicy()
+        assert policy.decide(signal(queue_depth=0)) == policy.IDLE_ACTION
+        assert policy.decide(signal(queue_depth=4)) == policy.BUSY_ACTION
+        assert policy.decide(signal(queue_depth=12)) == policy.OVERLOAD_ACTION
+
+    def test_monotone_in_every_congestion_input(self):
+        """More backlog never raises the exit threshold or deepens the
+        draft: offset and draft length are non-increasing along any path of
+        increasing queue depth, KV pressure or shrinking slack."""
+        policy = PressureControlPolicy()
+        controller = SpeculationController("pressure", k=4, base_threshold=0.4)
+        signals = [signal(queue_depth=d, kv_pressure=kv, mean_slack_s=slack)
+                   for d in (0, 2, 4, 6, 12, 40)
+                   for kv in (0.0, 0.5, 1.0)
+                   for slack in (float("inf"), 1.0, 0.0, -0.5)]
+        signals.sort(key=lambda s: s.pressure)
+        actions = [policy.decide(s) for s in signals]
+        for before, after in zip(actions, actions[1:]):
+            assert after.threshold_offset <= before.threshold_offset
+            assert (controller.draft_len_of(after)
+                    <= controller.draft_len_of(before))
+
+    def test_overload_still_strict_not_loose(self):
+        """The calibrated overload action raises the bar (positive offset)
+        and narrows the draft — the verify-sparing direction."""
+        action = PressureControlPolicy().decide(signal(queue_depth=40))
+        assert action.threshold_offset > 0
+        assert action.draft_len is not None and action.draft_len < 4
+
+
+class TestBanditPolicy:
+    def test_same_seed_same_arm_sequence(self):
+        a = ThompsonBanditPolicy(seed=11)
+        b = ThompsonBanditPolicy(seed=11)
+        for policy in (a, b):
+            for rid in range(40):
+                policy.assign(rid, signal(queue_depth=rid % 9))
+        assert a.arm_history == b.arm_history
+
+    def test_different_seed_diverges(self):
+        a = ThompsonBanditPolicy(seed=1)
+        b = ThompsonBanditPolicy(seed=2)
+        for policy in (a, b):
+            for rid in range(40):
+                policy.assign(rid, signal())
+        assert a.arm_history != b.arm_history
+
+    def test_reset_replays_identically(self):
+        policy = ThompsonBanditPolicy(seed=5)
+        first = [policy.assign(rid, signal()) for rid in range(20)]
+        history = list(policy.arm_history)
+        policy.reset()
+        second = [policy.assign(rid, signal()) for rid in range(20)]
+        assert policy.arm_history == history
+        assert first == second
+
+    def test_reward_concentrates_on_paying_arm(self):
+        """With one arm consistently rewarded, exploitation converges on it."""
+        policy = ThompsonBanditPolicy(seed=0, exploration=0.2)
+        paying = 3
+        for rid in range(300):
+            policy.assign(rid, signal())
+            arm = policy._arm_of[rid]
+            policy.reward(rid, 2.0 if arm == paying else 0.1)
+        tail = policy.arm_history[-60:]
+        assert tail.count(paying) > len(tail) * 0.6
+
+    def test_reward_unknown_request_is_noop(self):
+        policy = ThompsonBanditPolicy(seed=0)
+        before = policy._means.copy()
+        policy.reward(999, 5.0)
+        assert np.array_equal(policy._means, before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThompsonBanditPolicy(arms=())
+        with pytest.raises(ValueError):
+            ThompsonBanditPolicy(exploration=0.0)
+
+    def test_default_grid_contains_neutral_arm(self):
+        assert NEUTRAL_ACTION in DEFAULT_ARM_GRID
+
+
+class TestSpeculationController:
+    def test_threshold_and_draft_clamping(self):
+        controller = SpeculationController("static", k=4, base_threshold=0.4)
+        assert controller.threshold_of(ControlAction(+10.0)) == 0.95
+        assert controller.threshold_of(ControlAction(-10.0)) == 0.05
+        assert controller.draft_len_of(ControlAction(0.0, 99)) == 4
+        assert controller.draft_len_of(ControlAction(0.0, 0)) == 1
+        assert controller.draft_len_of(NEUTRAL_ACTION) == 4
+
+    def test_ctor_validation(self):
+        with pytest.raises(ValueError):
+            SpeculationController("static", k=0, base_threshold=0.4)
+        with pytest.raises(ValueError):
+            SpeculationController("static", k=4, base_threshold=0.4,
+                                  min_threshold=0.9, max_threshold=0.1)
+
+    def test_overrides_follow_tick_action(self):
+        controller = SpeculationController("pressure", k=4, base_threshold=0.4)
+        controller.observe(signal(queue_depth=12))
+        thresholds, drafts = controller.overrides([1, 2, 3])
+        assert thresholds == [pytest.approx(0.75)] * 3
+        assert drafts == [2] * 3
+        assert controller.mean_threshold_offset() == pytest.approx(0.35)
+
+    def test_per_request_assignment_is_sticky(self):
+        controller = SpeculationController("bandit", k=4, base_threshold=0.4,
+                                           seed=2)
+        controller.observe(signal(queue_depth=6))
+        first, _ = controller.overrides([7])
+        for _ in range(5):
+            again, _ = controller.overrides([7])
+            assert again == first
+        controller.finish(7, tokens=10, latency_s=0.5, met_slo=True)
+        assert 7 not in controller._assigned
+
+    def test_missed_slo_earns_zero(self):
+        controller = SpeculationController("bandit", k=4, base_threshold=0.4)
+        controller.observe(signal(queue_depth=1, per_token_s=0.01))
+        controller.overrides([1, 2])
+        policy = controller.policy
+        arm_miss = policy._arm_of[1]
+        controller.finish(1, tokens=10, latency_s=0.1, met_slo=False)
+        assert policy._means[arm_miss] <= 1.0  # pulled toward 0 from prior
+        arm_hit = policy._arm_of[2]
+        controller.finish(2, tokens=20, latency_s=0.1, met_slo=True)
+        assert policy._counts[arm_hit] == 1
+
+    def test_begin_resets_offset_stats(self):
+        controller = SpeculationController("pressure", k=4, base_threshold=0.4)
+        controller.observe(signal(queue_depth=12))
+        controller.overrides([1])
+        assert controller.mean_threshold_offset() != 0.0
+        controller.begin()
+        assert controller.mean_threshold_offset() == 0.0
+
+
+@pytest.fixture(scope="module")
+def rig():
+    return build_rig("vicuna-7b", seed=0, train_prompts=4, train_tokens=20,
+                     predictor_hidden=32, epochs=4)
+
+
+class TestEndToEnd:
+    FLEET = dict(batch_capacity=4, kv_blocks=24, block_size=4,
+                 chunk_prefill_tokens=16)
+
+    def trace(self, rig, serving, rate=12.0, n=12):
+        per_token_s = serving.latency.full_depth_token_time()
+        return poisson_trace(n, rate, rig.model.vocab_size, seed=9,
+                             prompt_len_range=(4, 16), slo_scale=2.5,
+                             per_token_s=per_token_s, priority_levels=2)
+
+    def test_static_control_is_token_identical_to_no_controller(self):
+        rig = build_rig("vicuna-7b", seed=0, train_prompts=4, train_tokens=20,
+                        predictor_hidden=32, epochs=4)
+        plain = rig.async_serving_engine(scheduling="edf", **self.FLEET)
+        controlled = rig.async_serving_engine(scheduling="edf", control="static",
+                                              **self.FLEET)
+        trace = self.trace(rig, plain)
+        report_plain = plain.run(trace)
+        report_controlled = controlled.run(trace)
+        assert report_controlled.control == "static"
+        for request in trace:
+            assert (report_controlled.results[request.request_id].tokens
+                    == report_plain.results[request.request_id].tokens)
+        assert report_controlled.mean_threshold_offset == 0.0
+
+    def test_bandit_run_is_seed_deterministic(self, rig):
+        def run():
+            serving = rig.async_serving_engine(scheduling="edf",
+                                               control="bandit",
+                                               control_seed=4, **self.FLEET)
+            trace = self.trace(rig, serving)
+            report = serving.run(trace)
+            return ([report.results[r.request_id].tokens for r in trace],
+                    serving.controller.policy.arm_history)
+
+        tokens_a, history_a = run()
+        tokens_b, history_b = run()
+        assert tokens_a == tokens_b
+        assert history_a == history_b
+        assert history_a, "bandit never assigned an arm"
+
+    def test_pressure_actuates_under_load(self, rig):
+        serving = rig.async_serving_engine(scheduling="edf",
+                                           control="pressure", **self.FLEET)
+        trace = self.trace(rig, serving, rate=40.0, n=16)
+        report = serving.run(trace)
+        assert report.control == "pressure"
+        assert report.mean_threshold_offset > 0.0
+
+    def test_fleet_report_carries_control_fields(self, rig):
+        fleet = rig.router_fleet(2, route="round_robin", scheduling="edf",
+                                 control="pressure", **self.FLEET)
+        per_token_s = fleet.replicas[0].latency.full_depth_token_time()
+        trace = poisson_trace(10, 12.0, rig.model.vocab_size, seed=9,
+                              slo_scale=2.5, per_token_s=per_token_s)
+        report = fleet.run(trace)
+        assert report.control == "pressure"
+        assert len(report.replica_threshold_offsets) == 2
