@@ -69,6 +69,12 @@ GATES = {
         Modelled("gates.overload_adaptive_gain"),
         Modelled("gates.idle_quality_ratio"),
     ],
+    "BENCH_exit_training.json": [
+        # Exit rate is a deterministic decode statistic; the speedup is a
+        # stopwatch ratio of speculative vs forced-full-depth decode.
+        Modelled("gates.trained_exit_rate"),
+        WallClock("gates.exit_speedup"),
+    ],
 }
 
 

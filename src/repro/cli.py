@@ -7,6 +7,7 @@ Usage::
     python -m repro run all --scale small --out report.txt
     python -m repro info llama2-7b
     python -m repro serve --requests 16 --batch-capacity 8
+    python -m repro train-exits --steps 160 --contrast
 """
 
 from __future__ import annotations
@@ -46,6 +47,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="show a model or device spec")
     info.add_argument("name", help="model (llama2-7b, ...) or device (a100-80g, ...)")
+
+    train = sub.add_parser(
+        "train-exits",
+        help="LayerSkip-train the tiny transformer, distill its draft, and "
+             "decode with verified early exits",
+    )
+    train.add_argument("--steps", type=int, default=160,
+                       help="LayerSkip training steps")
+    train.add_argument("--curriculum", default="rotational",
+                       choices=["rotational", "gradual", "all"],
+                       help="which exit layers get a loss each step")
+    train.add_argument("--max-layer-dropout", type=float, default=0.3,
+                       help="dropout probability of the deepest layer "
+                            "(shallower layers scale down linearly)")
+    train.add_argument("--early-exit-scale", type=float, default=0.5,
+                       help="weight of the mean early-exit loss vs the final CE")
+    train.add_argument("--prompts", type=int, default=6,
+                       help="prompts to decode with the trained rig")
+    train.add_argument("--max-new-tokens", type=int, default=24)
+    train.add_argument("--contrast", action="store_true",
+                       help="also decode the untrained random-weight rig for "
+                            "the before/after exit-rate contrast")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", default=None, help="write the report to a file")
 
     serve = sub.add_parser(
         "serve", help="continuous-batching serving run vs sequential SpecEE",
@@ -183,6 +208,73 @@ def _cmd_info(name: str, out: IO[str]) -> int:
         return 0
     print(f"unknown model/device {name!r}", file=sys.stderr)
     return 2
+
+
+def _decode_exit_stats(rig, n_prompts: int, max_new_tokens: int) -> dict:
+    """Verified-exit statistics of a batch-1 SpecEE decode on ``rig``."""
+    import numpy as np
+
+    from repro.config import SpecEEConfig
+    from repro.data.corpus import generate_prompts
+
+    config = SpecEEConfig(scheduler="offline", exit_threshold=0.3)
+    rates, layers = [], []
+    for prompt in generate_prompts(n_prompts, rig.model.vocab_size, seed=31):
+        engine = rig.specee_engine("offline", config=config, offline_top_k=2)
+        result = engine.generate(prompt, max_new_tokens)
+        rates.append(result.early_exit_rate)
+        layers.extend(result.exit_layers)
+    return {"exit_rate": float(np.mean(rates)),
+            "avg_exit_layer": float(np.mean(layers)) + 1}
+
+
+def _cmd_train_exits(args, out: IO[str]) -> int:
+    """Run the full repro.training loop and decode with the trained rig."""
+    from repro.eval.harness import (
+        build_trained_transformer_rig, build_transformer_rig,
+        trained_transformer_config,
+    )
+
+    start = time.perf_counter()
+    try:
+        rig = build_trained_transformer_rig(
+            seed=args.seed, steps=args.steps, curriculum=args.curriculum,
+            max_layer_dropout=args.max_layer_dropout,
+            early_exit_scale=args.early_exit_scale)
+    except ValueError as exc:
+        print(f"train-exits: {exc}", file=sys.stderr)
+        return 2
+    stats = _decode_exit_stats(rig, args.prompts, args.max_new_tokens)
+    meta = rig.metadata
+    agreement = "/".join(f"{a:.2f}" for a in meta["layer_agreement"])
+    rows = [
+        ["training steps", args.steps],
+        ["curriculum", args.curriculum],
+        ["max layer dropout", f"{args.max_layer_dropout:.2f}"],
+        ["early-exit loss scale", f"{args.early_exit_scale:.2f}"],
+        ["final training loss", f"{meta['training_final_loss']:.3f}"],
+        ["held-out next-token accuracy", f"{meta['training_accuracy']:.1%}"],
+        ["per-layer argmax agreement", agreement],
+        ["distilled draft hit rate", f"{meta['draft_hit_rate']:.2f}"],
+        ["verified early-exit rate", f"{stats['exit_rate']:.2f}"],
+        ["avg exit layer (1-based)",
+         f"{stats['avg_exit_layer']:.1f} / {rig.model.n_layers}"],
+    ]
+    if args.contrast:
+        untrained = build_transformer_rig(trained_transformer_config(),
+                                          seed=args.seed, max_tokens=256)
+        u = _decode_exit_stats(untrained, args.prompts, args.max_new_tokens)
+        rows.extend([
+            ["untrained verified exit rate", f"{u['exit_rate']:.2f}"],
+            ["untrained avg exit layer",
+             f"{u['avg_exit_layer']:.1f} / {untrained.model.n_layers}"],
+        ])
+    elapsed = time.perf_counter() - start
+    title = (f"train-exits: LayerSkip recipe on the tiny transformer "
+             f"({args.prompts} prompts x {args.max_new_tokens} tokens)")
+    print(render_table(["metric", "value"], rows, title=title), file=out)
+    print(f"[train-exits completed in {elapsed:.1f}s]", file=out)
+    return 0
 
 
 def _cluster_from_args(args):
@@ -459,6 +551,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args.experiment, args.scale, args.seed, sink)
         if args.command == "info":
             return _cmd_info(args.name, sink)
+        if args.command == "train-exits":
+            return _cmd_train_exits(args, sink)
         if args.command == "serve":
             return _cmd_serve(args, sink)
         return 2

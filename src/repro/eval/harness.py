@@ -31,8 +31,9 @@ from repro.model.profiles import get_profile
 from repro.model.synthetic import SyntheticLayeredLM
 
 __all__ = [
-    "Rig", "EvalRun", "build_rig", "build_transformer_rig", "make_model",
-    "run_items", "run_classification", "run_generation", "trained_assets",
+    "Rig", "EvalRun", "build_rig", "build_trained_transformer_rig",
+    "build_transformer_rig", "make_model", "run_items", "run_classification",
+    "run_generation", "trained_assets",
 ]
 
 _DEFAULT_SIM = SimDims()
@@ -120,6 +121,9 @@ class Rig:
     #: catalogued spec (the real transformer rig is "tiny-transformer" but
     #: its runs are priced as this spec, e.g. "llama2-7b").
     priced_as: Optional[str] = None
+    #: Free-form provenance (training report numbers, draft statistics, …);
+    #: populated by :func:`build_trained_transformer_rig`.
+    metadata: Dict = field(default_factory=dict)
 
     @property
     def priced_model_name(self) -> str:
@@ -317,6 +321,124 @@ def build_transformer_rig(
                model_factory=lambda: TransformerLayeredLM(
                    cfg, seed=seed, max_tokens=max_tokens),
                priced_as=priced_as)
+
+
+# (trained-rig parameter key) -> (trained lm, draft, bank, freqs, metadata)
+_TRAINED_TRANSFORMER_ASSET_CACHE: Dict[Tuple, Tuple] = {}
+
+
+def trained_transformer_config():
+    """Default config for the LayerSkip-trained rig.
+
+    Smaller vocabulary than the random-weight rig's default: the synthetic
+    language is learnable in seconds and the LM head stays a small fraction
+    of a layer's cost, so measured speedup reflects skipped layers rather
+    than head amortisation.  The hidden dim is wide enough (128) that layer
+    GEMMs dominate the interpreter's fixed per-step cost — at dim 64 the
+    predictor/verify bookkeeping eats most of what the exits save and the
+    measured speedup collapses toward 1x.
+    """
+    from repro.nn.transformer import TransformerConfig
+
+    return TransformerConfig(vocab_size=64, dim=128, n_layers=8, n_heads=4,
+                             intermediate_dim=256, max_positions=256)
+
+
+def build_trained_transformer_rig(
+    cfg=None,
+    seed: int = 0,
+    max_tokens: int = 256,
+    k: int = 4,
+    steps: int = 160,
+    curriculum: str = "rotational",
+    max_layer_dropout: float = 0.3,
+    early_exit_scale: float = 0.5,
+    corpus_sequences: int = 48,
+    corpus_len: int = 33,
+    distill_prompts: int = 16,
+    rollout_len: int = 24,
+    predictor_hidden: int = 64,
+    predictor_depth: int = 2,
+    train_prompts: int = 4,
+    train_tokens: int = 24,
+    epochs: int = 10,
+    priced_as: str = "llama2-7b",
+) -> Rig:
+    """Rig whose transformer was LayerSkip-trained so exits actually fire.
+
+    The full loop of ``repro.training`` runs once per parameter set (cached
+    per process): train :class:`TrainableTransformerLM` on the synthetic
+    corpus with layer dropout + early-exit losses, export the weights into
+    the inference stack, distill the draft from the trained model's own
+    predictions, then train the predictor bank and offline exit profile on
+    the trained model — mirroring the paper, which trains predictors on
+    MT-Bench traces and evaluates on the same distribution (Sec. 7.4.4).
+    The backend uses ``kv_fill="propagate"`` (cheap K/V projection for
+    skipped layers), so verified exits translate into wall-clock savings.
+    """
+    from repro.data.corpus import generate_corpus
+    from repro.model.oracle import NGramOracle
+    from repro.model.transformer_backend import TransformerLayeredLM
+    from repro.nn.transformer import TrainableTransformerLM
+    from repro.training import (
+        DistilledNGramDraft, LayerSkipConfig, train_layerskip,
+        export_inference_lm,
+    )
+
+    cfg = cfg or trained_transformer_config()
+    key = (cfg, seed, max_tokens, k, steps, curriculum, max_layer_dropout,
+           early_exit_scale, corpus_sequences, corpus_len,
+           distill_prompts, rollout_len, predictor_hidden, predictor_depth,
+           train_prompts, train_tokens, epochs)
+    if key not in _TRAINED_TRANSFORMER_ASSET_CACHE:
+        oracle = NGramOracle(cfg.vocab_size, order=3, seed=seed + 5)
+        corpus = generate_corpus(oracle, n_sequences=corpus_sequences,
+                                 seq_len=corpus_len, seed=seed + 1)
+        trainable = TrainableTransformerLM(cfg, seed=seed, rope=True)
+        report = train_layerskip(
+            trainable, corpus,
+            LayerSkipConfig(steps=steps, curriculum=curriculum,
+                            max_layer_dropout=max_layer_dropout,
+                            early_exit_scale=early_exit_scale, seed=seed))
+        lm = export_inference_lm(trainable)
+        prompts = generate_prompts(distill_prompts, cfg.vocab_size,
+                                   seed=seed + 31)
+        draft = DistilledNGramDraft.distill(lm, corpus, prompts,
+                                            rollout_len=rollout_len, k=k)
+        model = TransformerLayeredLM(lm=lm, max_tokens=max_tokens,
+                                     kv_fill="propagate")
+        train_pool = generate_prompts(train_prompts, cfg.vocab_size,
+                                      seed=seed + 11)
+        trace = harvest_training_corpus(model, draft, train_pool,
+                                        tokens_per_prompt=train_tokens)
+        bank = PredictorBank(model.n_layers, feature_dim=3 * k,
+                             hidden_dim=predictor_hidden, depth=predictor_depth,
+                             seed=seed)
+        train_predictor_bank(bank, trace, epochs=epochs, seed=seed)
+        profiling = SpecEEEngine(
+            model, draft, bank, SpecEEConfig(num_speculative=k),
+            scheduler=make_scheduler("all", model.n_layers),
+        )
+        exits: List[int] = []
+        for prompt in generate_prompts(2, cfg.vocab_size, seed=seed + 23):
+            run = profiling.generate(prompt, 16)
+            exits.extend(l for l, r in zip(run.exit_layers, run.records)
+                         if r.early_exit)
+        freqs = profile_exit_frequencies(exits, model.n_layers)
+        metadata = {
+            "training_final_loss": report.final_loss,
+            "training_accuracy": report.accuracy,
+            "layer_agreement": report.agreement,
+            "draft_hit_rate": draft.hit_rate,
+        }
+        _TRAINED_TRANSFORMER_ASSET_CACHE[key] = (lm, draft, bank, freqs, metadata)
+    lm, draft, bank, freqs, metadata = _TRAINED_TRANSFORMER_ASSET_CACHE[key]
+    factory = lambda: TransformerLayeredLM(lm=lm, max_tokens=max_tokens,
+                                           kv_fill="propagate")
+    return Rig(model_name="trained-transformer", flavor="dense",
+               model=factory(), speculator=draft, bank=bank,
+               offline_freqs=freqs, seed=seed, model_factory=factory,
+               priced_as=priced_as, metadata=dict(metadata))
 
 
 @dataclass

@@ -32,20 +32,52 @@ class TransformerState(LMState):
         self.host_kv: Optional[dict] = None  # swap-out blob while preempted
 
 
+#: How the KV slots of layers skipped by an early exit are filled.
+#:
+#: * ``"full"`` — continue the exit hidden state through the remaining
+#:   *complete* layers (attention + FFN).  Semantically closest to not
+#:   exiting at all and replayable with one dense pass, but it pays the full
+#:   per-layer cost, so early exits save no wall-clock time.
+#: * ``"propagate"`` — project the exit hidden state through each skipped
+#:   layer's K/V weights only (hidden-state propagation, the standard
+#:   treatment in early-exit LLM systems).  Two GEMVs + a rotation per
+#:   skipped layer instead of a full layer, which is what turns exits into
+#:   measured speedup; replay happens per step at the recorded exit depths.
+KV_FILL_MODES = ("full", "propagate")
+
+
 class TransformerLayeredLM(LayeredLM):
     """Layer-resolved decoding over :class:`TinyTransformerLM`.
 
     On an early exit, KV entries for the skipped layers are synthesised from
-    the exit-layer hidden state (hidden-state propagation), so later tokens
-    attend over a complete cache — the standard treatment in early-exit LLM
-    systems.
+    the exit-layer hidden state so later tokens attend over a complete
+    cache; :data:`KV_FILL_MODES` selects between the faithful-but-costly
+    full-layer fill and the cheap propagation fill the trained rigs use.
     """
 
     supports_batched_decode = True
 
-    def __init__(self, cfg: TransformerConfig | None = None, seed: int = 0, max_tokens: int = 512):
-        self.cfg = cfg or TransformerConfig()
-        self.lm = TinyTransformerLM(self.cfg, seed=seed)
+    def __init__(
+        self,
+        cfg: TransformerConfig | None = None,
+        seed: int = 0,
+        max_tokens: int = 512,
+        kv_fill: str = "full",
+        lm: TinyTransformerLM | None = None,
+    ):
+        if kv_fill not in KV_FILL_MODES:
+            raise ValueError(f"kv_fill must be one of {KV_FILL_MODES}, got {kv_fill!r}")
+        if lm is not None:
+            # Wrap an existing (e.g. LayerSkip-trained and exported) stack
+            # instead of rolling fresh random weights.
+            if cfg is not None and cfg != lm.cfg:
+                raise ValueError("cfg disagrees with the provided lm's config")
+            self.cfg = lm.cfg
+            self.lm = lm
+        else:
+            self.cfg = cfg or TransformerConfig()
+            self.lm = TinyTransformerLM(self.cfg, seed=seed)
+        self.kv_fill = kv_fill
         self.max_tokens = max_tokens
 
     @property
@@ -99,12 +131,17 @@ class TransformerLayeredLM(LayeredLM):
     def commit(self, state: TransformerState, token: int, exit_layer: int) -> None:
         if state.hidden is None:
             raise RuntimeError("commit without begin_step")
-        # Hidden-state propagation: fill KV for skipped layers so the cache
-        # stays rectangular.
+        # Fill KV for skipped layers so the cache stays rectangular: cheap
+        # K/V projection of the exit hidden per layer in "propagate" mode,
+        # full remaining layers in "full" mode.
         position = np.asarray([len(state.context) - 1])
-        hidden = state.hidden
-        for layer in range(state.layer_cursor + 1, self.n_layers):
-            hidden = self.lm.layer_forward(hidden, layer, state.cache, position)
+        if self.kv_fill == "propagate":
+            for layer in range(state.layer_cursor + 1, self.n_layers):
+                self.lm.layer_kv_fill(state.hidden, layer, [state.cache], position)
+        else:
+            hidden = state.hidden
+            for layer in range(state.layer_cursor + 1, self.n_layers):
+                hidden = self.lm.layer_forward(hidden, layer, state.cache, position)
         state.context.append(int(token))
         state.exit_layers.append(int(exit_layer))
         state.step_index += 1
@@ -181,6 +218,14 @@ class TransformerLayeredLM(LayeredLM):
             idx = [i for i, cursor in enumerate(cursors) if cursor < layer]
             if not idx:
                 continue
+            if self.kv_fill == "propagate":
+                # One stacked K/V projection of the exit hiddens per layer;
+                # the hidden states are not advanced (the fill reads the exit
+                # activation for every skipped depth).
+                self.lm.layer_kv_fill(
+                    hidden[idx], layer, [states[i].cache for i in idx],
+                    positions[idx])
+                continue
             sub = self.lm.layer_decode_batch(
                 hidden[idx], layer, [states[i].cache for i in idx], positions[idx])
             hidden[idx] = sub
@@ -209,21 +254,41 @@ class TransformerLayeredLM(LayeredLM):
         state.host_kv = None
 
     def recompute_state(self, state: TransformerState) -> None:
-        """Rebuild dropped KV by deterministic full-depth replay.
+        """Rebuild dropped KV by deterministic replay.
 
-        Every commit fills all layers' KV for the step's input token
-        (hidden-state propagation continues the exit hidden through the
-        remaining layers), so the cache content never depends on where the
-        sequence exited: entry ``j < prompt_len`` is prompt token ``j`` at
-        position ``j``, and each decode step appended its input token — the
-        previous context tail — at its decode position.  One prefill-shaped
-        pass over that token stream reproduces the cache, so resumed decode
-        matches an uninterrupted run token for token.
+        In ``"full"`` fill mode every commit ran all layers for the step's
+        input token, so the cache content never depends on where the sequence
+        exited: entry ``j < prompt_len`` is prompt token ``j`` at position
+        ``j``, and each decode step appended its input token — the previous
+        context tail — at its decode position.  One prefill-shaped pass over
+        that token stream reproduces the cache.
+
+        In ``"propagate"`` mode skipped layers hold K/V synthesised from the
+        exit hidden, so the replay walks the recorded ``exit_layers`` step by
+        step: run layers up to each step's exit depth, then re-synthesise the
+        skipped layers' K/V from the same exit hidden — exactly what the
+        original commits did.  Either way, resumed decode matches an
+        uninterrupted run token for token.
         """
         p, n = state.prompt_len, len(state.context)
-        tokens = state.context[:p] + state.context[p - 1 : n - 1]
-        positions = list(range(p)) + list(range(p - 1, n - 1))
         state.cache = self.lm.new_cache(self.max_tokens)
         state.host_kv = None
-        self.lm.forward_all(np.asarray(tokens, dtype=np.int64), state.cache,
-                            np.asarray(positions, dtype=np.int64))
+        if self.kv_fill != "propagate" or n == p:
+            tokens = state.context[:p] + state.context[p - 1 : n - 1]
+            positions = list(range(p)) + list(range(p - 1, n - 1))
+            self.lm.forward_all(np.asarray(tokens, dtype=np.int64), state.cache,
+                                np.asarray(positions, dtype=np.int64))
+            return
+        if len(state.exit_layers) != n - p:
+            raise RuntimeError(
+                f"cannot replay propagate-mode KV: {len(state.exit_layers)} "
+                f"recorded exits for {n - p} generated tokens")
+        self.lm.forward_all(np.asarray(state.context[:p], dtype=np.int64),
+                            state.cache, np.arange(p))
+        for i, exit_layer in enumerate(state.exit_layers):
+            position = np.asarray([p - 1 + i])
+            hidden = self.lm.embed(np.asarray([state.context[p - 1 + i]]))
+            for layer in range(int(exit_layer) + 1):
+                hidden = self.lm.layer_forward(hidden, layer, state.cache, position)
+            for layer in range(int(exit_layer) + 1, self.n_layers):
+                self.lm.layer_kv_fill(hidden, layer, [state.cache], position)

@@ -152,11 +152,39 @@ class CausalSelfAttention:
         self.wk = rng.normal(0.0, scale, size=(dim, self.n_kv_heads * self.head_dim))
         self.wv = rng.normal(0.0, scale, size=(dim, self.n_kv_heads * self.head_dim))
         self.wo = rng.normal(0.0, scale, size=(n_heads * self.head_dim, dim))
-        # Stacked inference layout: one GEMM yields Q, K and V for a whole
-        # decode batch.  Cached C-contiguous at init so the hot path never
-        # re-concatenates or transposes weights.
-        self.wqkv = np.ascontiguousarray(np.concatenate([self.wq, self.wk, self.wv], axis=1))
         self.rope = RotaryEmbedding(self.head_dim, max_positions=max_positions)
+        # Stacked inference layouts: one GEMM yields Q, K and V (or just K
+        # and V for the early-exit fill) for a whole decode batch.  Cached
+        # C-contiguous so the hot path never re-concatenates or transposes.
+        self.refresh_stacked_weights()
+
+    def refresh_stacked_weights(self) -> None:
+        """Rebuild the cached contiguous stacked projections.
+
+        Must be called whenever ``wq``/``wk``/``wv`` are replaced wholesale —
+        the weight exporter (``repro.training.export``) copies trained
+        matrices in and then refreshes these caches.
+        """
+        self.wqkv = np.ascontiguousarray(np.concatenate([self.wq, self.wk, self.wv], axis=1))
+        self.wkv = np.ascontiguousarray(np.concatenate([self.wk, self.wv], axis=1))
+
+    def project_kv(
+        self, x: np.ndarray, positions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """K/V rows for ``x`` ([B, dim], already attn-normed) at ``positions``.
+
+        The cheap early-exit KV fill: one ``[B, dim] x [dim, 2*kv_dim]`` GEMM
+        plus the key rotation — no attention, no output projection, no FFN.
+        Returns ``(k, v)`` each shaped ``[B, n_kv_heads, head_dim]``.
+        """
+        b = x.shape[0]
+        kv_dim = self.n_kv_heads * self.head_dim
+        kv = x @ self.wkv
+        k = kv[:, :kv_dim].reshape(b, self.n_kv_heads, self.head_dim)
+        v = kv[:, kv_dim:].reshape(b, self.n_kv_heads, self.head_dim)
+        cos, sin = self.rope.tables_for(positions)
+        k = apply_rope(k, cos[:, None, :], sin[:, None, :])
+        return k, v
 
     def forward(
         self,

@@ -5,22 +5,56 @@ Two variants share the layer geometry:
 * :class:`TinyTransformerLM` — forward-only numpy inference stack with RoPE
   and a :class:`~repro.nn.attention.KVCache`, exposing *layer-resolved*
   stepping so the early-exit engines can stop mid-depth.
-* :class:`TrainableTransformerLM` — autograd stack (learned absolute position
-  embeddings instead of RoPE) used by the training example and tests.
+* :class:`TrainableTransformerLM` — autograd stack used by the training
+  example, the LayerSkip recipe (``repro.training``) and tests.  Built with
+  ``rope=True`` it uses the *same* rotary position encoding as the inference
+  stack (expressed through autograd primitives — see :func:`rope_constants`),
+  which makes trained weights directly exportable into
+  :class:`TinyTransformerLM`; the default ``rope=False`` keeps the original
+  learned-absolute-position variant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.attention import CausalSelfAttention, KVCache
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Embedding, Linear, Module, RMSNorm, SwiGLU
+from repro.nn.rope import RotaryEmbedding
 
-__all__ = ["TransformerConfig", "TinyTransformerLM", "TrainableTransformerLM"]
+__all__ = [
+    "TransformerConfig", "TinyTransformerLM", "TrainableTransformerLM",
+    "rope_constants",
+]
+
+
+def rope_constants(
+    head_dim: int, max_positions: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """RoPE as three constant arrays usable inside the autograd tape.
+
+    :func:`~repro.nn.rope.apply_rope` rotates interleaved pairs:
+    ``out[2i] = x[2i] cos_i - x[2i+1] sin_i`` and
+    ``out[2i+1] = x[2i] sin_i + x[2i+1] cos_i``.  The same map is expressible
+    with ops the tape already differentiates as ``x * C + (x @ P) * S`` where
+    ``C``/``S`` are the cos/sin tables expanded to ``[T, head_dim]``
+    (each pair's value duplicated) and ``P`` is the signed pair-swap
+    permutation ``P[2i+1, 2i] = -1, P[2i, 2i+1] = +1``.  Because ``x @ P``
+    only permutes and negates, the arithmetic matches ``apply_rope`` exactly
+    — the property the weight exporter relies on.
+    """
+    table = RotaryEmbedding(head_dim, max_positions=max_positions)
+    cos = np.repeat(table.cos, 2, axis=-1)  # [T, head_dim]
+    sin = np.repeat(table.sin, 2, axis=-1)
+    perm = np.zeros((head_dim, head_dim))
+    even = np.arange(0, head_dim, 2)
+    perm[even + 1, even] = -1.0
+    perm[even, even + 1] = 1.0
+    return cos, sin, perm
 
 
 @dataclass(frozen=True)
@@ -69,6 +103,19 @@ class _DecoderLayer:
         x = x + self.ffn.forward_np(self.ffn_norm.forward_np(x))
         return x
 
+    def kv_fill(
+        self, x: np.ndarray, layer: int, caches: List[KVCache], positions: np.ndarray
+    ) -> None:
+        """Append this layer's K/V synthesised from exit hidden ``x`` [B, dim].
+
+        The cheap early-exit fill: project the attn-normed hidden through the
+        stacked K/V weights and append — no attention or FFN, so skipping the
+        layer actually saves its wall-clock cost.
+        """
+        k, v = self.attn.project_kv(self.attn_norm.forward_np(x), positions)
+        for i, cache in enumerate(caches):
+            cache.append(layer, k[i][:, None, :], v[i][:, None, :])
+
 
 class TinyTransformerLM:
     """Inference-only transformer with layer-resolved forward.
@@ -113,6 +160,17 @@ class TinyTransformerLM:
         token per sequence, each with its own cache and absolute position)."""
         return self.layers[layer].decode_batch(hidden, layer, caches, positions)
 
+    def layer_kv_fill(
+        self,
+        hidden: np.ndarray,
+        layer: int,
+        caches: List[KVCache],
+        positions: np.ndarray,
+    ) -> None:
+        """Synthesise layer ``layer``'s K/V from exit hidden ``hidden``
+        ([B, dim]) and append to each cache — the cheap early-exit fill."""
+        self.layers[layer].kv_fill(hidden, layer, caches, positions)
+
     def lm_head(self, hidden: np.ndarray) -> np.ndarray:
         return self.final_norm.forward_np(hidden) @ self.lm_head_weight
 
@@ -144,12 +202,24 @@ class _TrainableLayer(Module):
         self.n_heads = heads
         self.head_dim = dim // heads
 
-    def __call__(self, x: Tensor, mask: np.ndarray) -> Tensor:
+    def __call__(
+        self,
+        x: Tensor,
+        mask: np.ndarray,
+        rope: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+    ) -> Tensor:
         b, t, d = x.shape
         h = self.attn_norm(x)
         q = self.wq(h).reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
         k = self.wk(h).reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
         v = self.wv(h).reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+        if rope is not None:
+            # Rotary encoding through the tape: constants broadcast over
+            # [b, heads, t, head_dim]; see rope_constants for why this matches
+            # apply_rope exactly.
+            cos, sin, perm = rope
+            q = q * cos + (q @ perm) * sin
+            k = k * cos + (k @ perm) * sin
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
         scores = scores + Tensor(mask)  # additive causal mask (constant)
         attn = scores.softmax(axis=-1)
@@ -160,13 +230,35 @@ class _TrainableLayer(Module):
 
 
 class TrainableTransformerLM(Module):
-    """Autograd transformer LM for the from-scratch training example."""
+    """Autograd transformer LM for from-scratch training.
 
-    def __init__(self, cfg: TransformerConfig, seed: int = 0):
+    With ``rope=True`` the stack drops the learned absolute position table
+    and rotates Q/K with the inference stack's rotary encoding, so a trained
+    model exports weight-for-weight into :class:`TinyTransformerLM` (see
+    ``repro.training.export``).  :meth:`forward_hidden` exposes every layer's
+    output (with optional per-layer skipping — the LayerSkip dropout hook)
+    and :meth:`head` projects any of them through the shared LM head, which
+    is what the early-exit loss trains against.
+    """
+
+    def __init__(self, cfg: TransformerConfig, seed: int = 0, rope: bool = False):
         self.cfg = cfg
+        self.rope = rope
         rng = np.random.default_rng(seed)
         self.token_emb = Embedding(cfg.vocab_size, cfg.dim, rng)
-        self.pos_emb = Embedding(cfg.max_positions, cfg.dim, rng)
+        if rope:
+            head_dim = cfg.dim // cfg.n_heads
+            if head_dim % 2 != 0:
+                raise ValueError(f"rope needs an even head_dim, got {head_dim}")
+            if cfg.n_kv_heads not in (None, cfg.n_heads):
+                raise ValueError(
+                    "the trainable stack has no grouped-query attention; "
+                    "rope=True requires n_kv_heads in (None, n_heads)")
+            self.pos_emb = None
+            self._rope_cos, self._rope_sin, self._rope_perm = rope_constants(
+                head_dim, cfg.max_positions)
+        else:
+            self.pos_emb = Embedding(cfg.max_positions, cfg.dim, rng)
         self.layers = [
             _TrainableLayer(cfg, np.random.default_rng(rng.integers(2**31)))
             for _ in range(cfg.n_layers)
@@ -174,14 +266,45 @@ class TrainableTransformerLM(Module):
         self.final_norm = RMSNorm(cfg.dim)
         self.lm_head = Linear(cfg.dim, cfg.vocab_size, rng, bias=False)
 
-    def __call__(self, token_ids: np.ndarray) -> Tensor:
-        """``token_ids`` [B, T] -> logits Tensor [B, T, V]."""
+    def forward_hidden(
+        self,
+        token_ids: np.ndarray,
+        layer_keep: Optional[Sequence[bool]] = None,
+    ) -> List[Tensor]:
+        """Hidden state after every decoder layer for ``token_ids`` [B, T].
+
+        ``layer_keep[l] = False`` skips layer ``l`` entirely (the residual
+        stream passes through unchanged) — the stochastic depth hook the
+        LayerSkip recipe drives.  Entry ``l`` of the returned list is the
+        residual stream after layer ``l`` (a skipped layer repeats its
+        input), so ``head(hiddens[l])`` is the layer-``l`` early-exit logits.
+        """
         token_ids = np.asarray(token_ids, dtype=np.int64)
         b, t = token_ids.shape
         if t > self.cfg.max_positions:
             raise ValueError(f"sequence length {t} exceeds {self.cfg.max_positions}")
-        x = self.token_emb(token_ids) + self.pos_emb(np.arange(t))
+        if layer_keep is not None and len(layer_keep) != len(self.layers):
+            raise ValueError(
+                f"layer_keep has {len(layer_keep)} entries for "
+                f"{len(self.layers)} layers")
+        x = self.token_emb(token_ids)
+        if self.pos_emb is not None:
+            x = x + self.pos_emb(np.arange(t))
         mask = np.triu(np.full((t, t), -1e9), k=1)
-        for layer in self.layers:
-            x = layer(x, mask)
-        return self.lm_head(self.final_norm(x))
+        rope = (None if not self.rope else
+                (self._rope_cos[:t], self._rope_sin[:t], self._rope_perm))
+        hiddens: List[Tensor] = []
+        for i, layer in enumerate(self.layers):
+            if layer_keep is None or layer_keep[i]:
+                x = layer(x, mask, rope)
+            hiddens.append(x)
+        return hiddens
+
+    def head(self, hidden: Tensor) -> Tensor:
+        """Shared LM head: final norm + output projection of any layer's
+        hidden state — final logits and early-exit logits alike."""
+        return self.lm_head(self.final_norm(hidden))
+
+    def __call__(self, token_ids: np.ndarray) -> Tensor:
+        """``token_ids`` [B, T] -> logits Tensor [B, T, V]."""
+        return self.head(self.forward_hidden(token_ids)[-1])

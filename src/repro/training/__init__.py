@@ -1,0 +1,36 @@
+"""LayerSkip-style training that makes early exits fire on the real backend.
+
+The package closes the loop the paper assumes and the random-weight
+transformer rig lacks:
+
+* :mod:`repro.training.layerskip` — train :class:`TrainableTransformerLM`
+  with depth-increasing layer dropout and an early-exit loss through the
+  shared LM head (LayerSkip, arXiv:2404.16710), so intermediate hidden
+  states project to the same argmax the full depth produces.
+* :mod:`repro.training.export` — copy the trained weights into the
+  inference stack (:class:`TinyTransformerLM`) weight-for-weight.
+* :mod:`repro.training.distill` — distill a draft model from the trained
+  network's own predictions so speculative proposals agree with the full
+  model often enough for exit verification to pass.
+
+``eval.harness.build_trained_transformer_rig`` runs all three and retrains
+the predictor bank + offline exit profile on the trained model.
+"""
+
+from repro.training.distill import DistilledNGramDraft
+from repro.training.export import export_inference_lm
+from repro.training.layerskip import (
+    LayerSkipConfig,
+    TrainingReport,
+    layer_agreement,
+    train_layerskip,
+)
+
+__all__ = [
+    "DistilledNGramDraft",
+    "LayerSkipConfig",
+    "TrainingReport",
+    "export_inference_lm",
+    "layer_agreement",
+    "train_layerskip",
+]

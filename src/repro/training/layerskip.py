@@ -1,0 +1,185 @@
+"""LayerSkip training recipe (arXiv:2404.16710) on the autograd stack.
+
+Two ingredients, both driven through :meth:`TrainableTransformerLM.forward_hidden`:
+
+* **Layer dropout increasing with depth** — each step samples a keep mask
+  where layer ``l`` is dropped with probability
+  ``max_layer_dropout * l / (n_layers - 1)``; early layers almost always
+  run, deep layers are frequently skipped, so the residual stream learns
+  not to depend on full depth.
+* **Early-exit loss through the shared LM head** — intermediate hidden
+  states are projected through the *same* final norm + LM head as the last
+  layer and pay a cross-entropy against the next token.  A curriculum
+  chooses which exit layers are supervised each step (``rotational`` — one
+  per step, round-robin; ``gradual`` — deepest first, earlier layers phased
+  in over training; ``all`` — every candidate every step).
+
+The combination is what makes mid-depth argmaxes agree with the full-depth
+argmax — the property the SpecEE predictors and verification rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import cross_entropy, no_grad
+from repro.nn.optim import Adam
+from repro.nn.transformer import TrainableTransformerLM
+
+__all__ = ["LayerSkipConfig", "TrainingReport", "layer_agreement", "train_layerskip"]
+
+_CURRICULA = ("rotational", "gradual", "all")
+
+
+@dataclass(frozen=True)
+class LayerSkipConfig:
+    """Hyperparameters for :func:`train_layerskip`."""
+
+    steps: int = 250
+    batch_size: int = 8
+    lr: float = 3e-3
+    #: Dropout probability of the *last* layer; layer ``l`` is dropped with
+    #: probability ``max_layer_dropout * l / (n_layers - 1)``.
+    max_layer_dropout: float = 0.3
+    #: Weight of the mean early-exit cross-entropy relative to the final CE.
+    early_exit_scale: float = 0.5
+    #: Shallowest layer that receives an exit loss (mirrors the engine's
+    #: ``min_exit_layer`` — depths the scheduler will never exit at are not
+    #: supervised).
+    min_exit_layer: int = 2
+    curriculum: str = "rotational"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0.0 <= self.max_layer_dropout < 1.0:
+            raise ValueError("max_layer_dropout must lie in [0, 1)")
+        if self.early_exit_scale < 0.0:
+            raise ValueError("early_exit_scale must be >= 0")
+        if self.curriculum not in _CURRICULA:
+            raise ValueError(f"curriculum must be one of {_CURRICULA}")
+
+
+@dataclass
+class TrainingReport:
+    """What :func:`train_layerskip` did and how well it worked."""
+
+    config: LayerSkipConfig
+    losses: List[float] = field(default_factory=list)
+    #: Per-layer fraction of held-out positions whose early-exit argmax
+    #: equals the full-depth argmax (the quantity verification checks).
+    agreement: List[float] = field(default_factory=list)
+    #: Held-out next-token accuracy of the full-depth head.
+    accuracy: float = float("nan")
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def _curriculum_exits(
+    step: int, cfg: LayerSkipConfig, candidates: Sequence[int]
+) -> List[int]:
+    """Exit layers supervised at ``step`` (see module docstring)."""
+    if cfg.curriculum == "all":
+        return list(candidates)
+    if cfg.curriculum == "rotational":
+        return [candidates[step % len(candidates)]]
+    # gradual: start from the deepest candidate, phase earlier exits in
+    # linearly over the run so shallow supervision arrives once the deep
+    # representation is partly formed.
+    frac = (step + 1) / cfg.steps
+    count = max(1, int(round(frac * len(candidates))))
+    return list(candidates[-count:])
+
+
+def _keep_mask(
+    rng: np.random.Generator, n_layers: int, max_dropout: float
+) -> List[bool]:
+    """Depth-increasing stochastic layer dropout (always keeps layer 0)."""
+    if max_dropout == 0.0 or n_layers == 1:
+        return [True] * n_layers
+    drop_p = max_dropout * np.arange(n_layers) / (n_layers - 1)
+    return list(rng.random(n_layers) >= drop_p)
+
+
+def layer_agreement(model: TrainableTransformerLM, tokens: np.ndarray) -> List[float]:
+    """Per-layer early-exit/full-depth argmax agreement on ``tokens`` [B, T].
+
+    Entry ``l`` is the fraction of positions where
+    ``argmax(head(hidden_l))`` equals ``argmax(head(hidden_last))`` — the
+    self-consistency the exit verification step tests at decode time.
+    """
+    with no_grad():
+        hiddens = model.forward_hidden(np.asarray(tokens, dtype=np.int64))
+        preds = [np.argmax(model.head(h).data, axis=-1) for h in hiddens]
+    final = preds[-1]
+    return [float(np.mean(p == final)) for p in preds]
+
+
+def train_layerskip(
+    model: TrainableTransformerLM,
+    corpus: np.ndarray,
+    cfg: LayerSkipConfig | None = None,
+    eval_corpus: np.ndarray | None = None,
+) -> TrainingReport:
+    """Train ``model`` on ``corpus`` [N, T] with the LayerSkip recipe.
+
+    The loss each step is ``CE(final) + early_exit_scale * mean(CE(exit_l))``
+    over the curriculum's exit layers, computed on a batch forwarded through
+    a freshly sampled depth-increasing layer-dropout mask.  Returns a
+    :class:`TrainingReport` with the loss curve and held-out per-layer
+    agreement diagnostics (on ``eval_corpus`` or a slice of ``corpus``).
+    """
+    cfg = cfg or LayerSkipConfig()
+    corpus = np.asarray(corpus, dtype=np.int64)
+    if corpus.ndim != 2 or corpus.shape[1] < 2:
+        raise ValueError("corpus must be [n_sequences, seq_len >= 2]")
+    n_layers = len(model.layers)
+    if not 0 <= cfg.min_exit_layer <= n_layers - 2:
+        raise ValueError(
+            f"min_exit_layer {cfg.min_exit_layer} out of range for "
+            f"{n_layers} layers")
+    # Exit-loss candidates stop one short of the top: the last layer already
+    # owns the final CE term.
+    candidates = list(range(cfg.min_exit_layer, n_layers - 1))
+    vocab = model.cfg.vocab_size
+
+    optimizer = Adam(model.parameters(), lr=cfg.lr)
+    rng = np.random.default_rng(cfg.seed)
+    report = TrainingReport(config=cfg)
+    for step in range(cfg.steps):
+        rows = rng.choice(len(corpus), size=min(cfg.batch_size, len(corpus)),
+                          replace=False)
+        batch = corpus[rows]
+        inputs, targets = batch[:, :-1], batch[:, 1:].reshape(-1)
+        keep = _keep_mask(rng, n_layers, cfg.max_layer_dropout)
+        optimizer.zero_grad()
+        hiddens = model.forward_hidden(inputs, layer_keep=keep)
+        loss = cross_entropy(model.head(hiddens[-1]).reshape(-1, vocab), targets)
+        exits = _curriculum_exits(step, cfg, candidates)
+        if exits and cfg.early_exit_scale > 0.0:
+            exit_sum = None
+            for layer in exits:
+                ce = cross_entropy(model.head(hiddens[layer]).reshape(-1, vocab),
+                                   targets)
+                exit_sum = ce if exit_sum is None else exit_sum + ce
+            loss = loss + exit_sum * (cfg.early_exit_scale / len(exits))
+        loss.backward()
+        optimizer.step()
+        report.losses.append(loss.item())
+
+    held_out = eval_corpus if eval_corpus is not None else corpus[: min(8, len(corpus))]
+    held_out = np.asarray(held_out, dtype=np.int64)
+    report.agreement = layer_agreement(model, held_out[:, :-1])
+    with no_grad():
+        logits = model(held_out[:, :-1])
+    preds = np.argmax(logits.data, axis=-1)
+    report.accuracy = float(np.mean(preds == held_out[:, 1:]))
+    return report

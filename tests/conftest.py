@@ -1,0 +1,48 @@
+"""Shared session-scoped rig fixtures.
+
+Building a rig trains predictor banks (and, for the trained-transformer rig,
+the whole LayerSkip recipe), so test files must not rebuild them
+independently: the fixtures here construct each flavour once per session and
+every module's ``rig`` fixture aliases one of them.  The harness's in-process
+asset caches already dedupe the *training* cost; these fixtures also dedupe
+the rig objects themselves so engines built from them share speculator and
+bank instances.
+"""
+
+import pytest
+
+from repro.eval.harness import (
+    build_rig,
+    build_trained_transformer_rig,
+    build_transformer_rig,
+)
+from repro.nn.transformer import TransformerConfig
+
+#: Geometry shared by every real-transformer serving test: small enough that
+#: a full serving run is milliseconds, deep enough that exits/preemption have
+#: room to act.
+SMALL_TRANSFORMER_CFG = TransformerConfig(vocab_size=128, dim=32, n_layers=4,
+                                          n_heads=4, intermediate_dim=48,
+                                          max_positions=256)
+
+
+@pytest.fixture(scope="session")
+def small_transformer_rig():
+    """Random-weight real-transformer rig (undistilled NGram draft)."""
+    return build_transformer_rig(SMALL_TRANSFORMER_CFG, seed=0, max_tokens=256)
+
+
+@pytest.fixture(scope="session")
+def control_rig():
+    """Synthetic vicuna-7b rig the speculation-control tests drive."""
+    return build_rig("vicuna-7b", seed=0, train_prompts=4, train_tokens=20,
+                     predictor_hidden=32, epochs=4)
+
+
+@pytest.fixture(scope="session")
+def trained_transformer_rig():
+    """LayerSkip-trained rig: trained weights, distilled draft,
+    ``kv_fill="propagate"`` backend.  Expensive (runs the full
+    ``repro.training`` loop once per session) — tests using it should carry
+    the ``slow`` marker."""
+    return build_trained_transformer_rig()

@@ -123,6 +123,21 @@ class TestCliFlagDocs:
         assert control_flags <= documented, (
             f"control flags undocumented: {sorted(control_flags - documented)}")
 
+    def test_train_exits_flags_exist_and_are_documented(self):
+        """The train-exits flags must exist on the CLI AND appear in the
+        docs — both directions, so a rename of either side fails loudly."""
+        expected = {"--steps", "--curriculum", "--max-layer-dropout",
+                    "--early-exit-scale", "--prompts", "--max-new-tokens",
+                    "--contrast"}
+        train_flags = _option_strings(_cli_subparsers()["train-exits"])
+        assert expected <= train_flags, (
+            f"train-exits lost flags: {sorted(expected - train_flags)}")
+        documented = self.documented_flags()
+        undocumented = (train_flags - {"--help"}) - documented
+        assert not undocumented, (
+            f"train-exits flags missing from DESIGN.md/README.md: "
+            f"{sorted(undocumented)}")
+
     def test_serve_help_explains_policy_precedence(self):
         """`repro serve --help` must carry the epilog spelling out how
         --sched, --route and --control interact."""

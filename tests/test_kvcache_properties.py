@@ -1,0 +1,150 @@
+"""Seeded property sweep over KVCache edges and preemption replay.
+
+Randomized lengths deliberately straddle the ``initial_tokens`` allocation
+and capacity-doubling boundaries — the places where a growth or swap bug
+would corrupt KV silently.  The replay property drives the real backend's
+``drop_state_kv``/``recompute_state`` against an uninterrupted decode and
+demands token identity in both KV-fill modes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.transformer_backend import TransformerLayeredLM
+from repro.nn.attention import KVCache
+from repro.nn.transformer import TinyTransformerLM, TransformerConfig
+
+INITIAL = 8
+MAX_TOKENS = 64
+
+
+def _fill(cache: KVCache, rng: np.random.Generator, per_layer: list) -> None:
+    """Append ``per_layer[l]`` tokens to layer ``l`` in random-size chunks."""
+    for layer, total in enumerate(per_layer):
+        done = 0
+        while done < total:
+            step = int(rng.integers(1, total - done + 1))
+            k = rng.normal(size=(cache.n_kv_heads, step, cache.head_dim))
+            v = rng.normal(size=(cache.n_kv_heads, step, cache.head_dim))
+            cache.append(layer, k, v)
+            done += step
+
+
+class TestKVCacheProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(0, MAX_TOKENS), min_size=1, max_size=4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_swap_round_trip_bit_exact(self, lengths, seed):
+        """swap_out -> swap_in restores every layer's filled prefix bit for
+        bit, across ragged lengths straddling the initial allocation."""
+        rng = np.random.default_rng(seed)
+        cache = KVCache(len(lengths), n_kv_heads=2, head_dim=4,
+                        max_tokens=MAX_TOKENS, initial_tokens=INITIAL)
+        _fill(cache, rng, lengths)
+        before = [tuple(arr.copy() for arr in cache.view(l))
+                  for l in range(len(lengths))]
+        blob = cache.swap_out()
+        # Eviction really shrinks the device allocation back to initial.
+        assert cache.capacity == INITIAL
+        assert all(cache.length(l) == 0 for l in range(len(lengths)))
+        cache.swap_in(blob)
+        for layer, (k, v) in enumerate(before):
+            k2, v2 = cache.view(layer)
+            assert np.array_equal(k, k2) and np.array_equal(v, v2)
+            assert cache.length(layer) == lengths[layer]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        total=st.integers(1, MAX_TOKENS),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_geometric_growth_invariants(self, total, seed):
+        """Capacity is always initial * 2^m (capped at max_tokens), holds the
+        filled prefix, and never exceeds the cap."""
+        rng = np.random.default_rng(seed)
+        cache = KVCache(1, n_kv_heads=2, head_dim=4,
+                        max_tokens=MAX_TOKENS, initial_tokens=INITIAL)
+        _fill(cache, rng, [total])
+        assert cache.length(0) == total
+        assert total <= cache.capacity <= MAX_TOKENS
+        growth = cache.capacity / INITIAL
+        assert growth >= 1 and (cache.capacity == MAX_TOKENS
+                                or growth == 2 ** int(np.log2(growth)))
+
+    def test_append_past_max_tokens_raises(self):
+        cache = KVCache(1, 2, 4, max_tokens=8, initial_tokens=4)
+        cache.append(0, np.zeros((2, 8, 4)), np.zeros((2, 8, 4)))
+        with pytest.raises(ValueError):
+            cache.append(0, np.zeros((2, 1, 4)), np.zeros((2, 1, 4)))
+
+
+REPLAY_CFG = TransformerConfig(vocab_size=32, dim=16, n_layers=3, n_heads=2,
+                               intermediate_dim=24, max_positions=64)
+_REPLAY_LM = TinyTransformerLM(REPLAY_CFG, seed=7)
+
+
+def _decode(backend, prompt, exits):
+    """Greedy decode committing at the given exit layer per step."""
+    state = backend.start(prompt)
+    tokens = []
+    for exit_layer in exits:
+        backend.begin_step(state)
+        hidden = backend.run_to_layer(state, exit_layer)
+        token = backend.greedy_token(hidden)
+        backend.commit(state, token, exit_layer)
+        tokens.append(token)
+    return state, tokens
+
+
+class TestRecomputeReplay:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        prompt=st.lists(st.integers(0, REPLAY_CFG.vocab_size - 1),
+                        min_size=1, max_size=6),
+        exits=st.lists(st.integers(0, REPLAY_CFG.n_layers - 1),
+                       min_size=1, max_size=5),
+        kv_fill=st.sampled_from(["full", "propagate"]),
+    )
+    def test_recompute_matches_incremental_decode(self, prompt, exits, kv_fill):
+        """drop + recompute_state, then keep decoding: the continuation must
+        be token-identical to a never-preempted run, in both fill modes."""
+        backend = TransformerLayeredLM(lm=_REPLAY_LM, max_tokens=MAX_TOKENS,
+                                       kv_fill=kv_fill)
+        tail = [REPLAY_CFG.n_layers - 1, 0, REPLAY_CFG.n_layers - 1]
+        _, reference = _decode(backend, prompt, exits + tail)
+
+        state, tokens = _decode(backend, prompt, exits)
+        assert tokens == reference[: len(exits)]
+        backend.drop_state_kv(state)
+        backend.recompute_state(state)
+        for step, exit_layer in enumerate(tail):
+            backend.begin_step(state)
+            hidden = backend.run_to_layer(state, exit_layer)
+            token = backend.greedy_token(hidden)
+            backend.commit(state, token, exit_layer)
+            assert token == reference[len(exits) + step]
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        prompt=st.lists(st.integers(0, REPLAY_CFG.vocab_size - 1),
+                        min_size=1, max_size=6),
+        exits=st.lists(st.integers(0, REPLAY_CFG.n_layers - 1),
+                       min_size=1, max_size=5),
+    )
+    def test_propagate_recompute_is_bit_exact(self, prompt, exits):
+        """Propagate-mode replay reproduces the cache contents exactly, not
+        just the argmaxes: it reruns the very computation each commit did."""
+        backend = TransformerLayeredLM(lm=_REPLAY_LM, max_tokens=MAX_TOKENS,
+                                       kv_fill="propagate")
+        state, _ = _decode(backend, prompt, exits)
+        before = [tuple(arr.copy() for arr in state.cache.view(l))
+                  for l in range(REPLAY_CFG.n_layers)]
+        backend.drop_state_kv(state)
+        backend.recompute_state(state)
+        for layer, (k, v) in enumerate(before):
+            k2, v2 = state.cache.view(layer)
+            assert np.array_equal(k, k2) and np.array_equal(v, v2)

@@ -207,10 +207,10 @@ class TestSpeculationController:
         assert controller.mean_threshold_offset() == 0.0
 
 
-@pytest.fixture(scope="module")
-def rig():
-    return build_rig("vicuna-7b", seed=0, train_prompts=4, train_tokens=20,
-                     predictor_hidden=32, epochs=4)
+@pytest.fixture
+def rig(control_rig):
+    """Alias onto the shared session-scoped rig (see tests/conftest.py)."""
+    return control_rig
 
 
 class TestEndToEnd:

@@ -9,14 +9,9 @@ import pytest
 from repro.cli import main
 from repro.config import SpecEEConfig, get_model_spec
 from repro.distributed.cluster import make_cluster
-from repro.eval.harness import build_transformer_rig
 from repro.hardware.ledger import Event
 from repro.nn.attention import KVCache
-from repro.nn.transformer import TransformerConfig
 from repro.serving import Request
-
-SMALL_CFG = TransformerConfig(vocab_size=128, dim=32, n_layers=4, n_heads=4,
-                              intermediate_dim=48, max_positions=256)
 
 # Unverified-exit ablation with a permissive threshold: the untrained-oracle
 # draft rarely survives verification on random weights, so this config is how
@@ -25,9 +20,10 @@ EXITY_CFG = SpecEEConfig(exit_threshold=0.35, min_exit_layer=1,
                          scheduler="all", verify_on_exit=False)
 
 
-@pytest.fixture(scope="module")
-def rig():
-    return build_transformer_rig(SMALL_CFG, seed=0, max_tokens=256)
+@pytest.fixture
+def rig(small_transformer_rig):
+    """Alias onto the shared session-scoped rig (see tests/conftest.py)."""
+    return small_transformer_rig
 
 
 def ragged_requests():
