@@ -75,6 +75,11 @@ GATES = {
         Modelled("gates.trained_exit_rate"),
         WallClock("gates.exit_speedup"),
     ],
+    "BENCH_fault_recovery.json": [
+        Modelled("gates.recovered_fraction"),
+        Modelled("gates.failover_goodput_ratio"),
+        Modelled("gates.failover_horizon_goodput"),
+    ],
 }
 
 

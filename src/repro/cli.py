@@ -151,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--think-time", type=float, default=0.05,
                        help="mean closed-loop client think time, modelled "
                             "seconds")
+    # Fault injection and recovery (fleet runs).
+    serve.add_argument("--faults", default="none",
+                       help="fault plan: a preset (none, single-crash, "
+                            "crash-restart, degraded-spec, chaos) or a spec "
+                            "string like 'crash@0.3:replica=0,down=1.0;"
+                            "slow@0.2:factor=3,duration=0.5'")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed resolving replica=any picks and corruption "
+                            "RNG streams in the fault plan")
+    serve.add_argument("--no-failover", action="store_true",
+                       help="ablation: lose a crashed replica's in-flight "
+                            "work instead of re-routing it")
     # Multi-device sharding (modelled cluster; 1/1 = single device).
     serve.add_argument("--tp", type=int, default=1,
                        help="tensor-parallel degree (devices per layer shard)")
@@ -341,6 +353,8 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
         fleet = rig.router_fleet(
             args.replicas, route=args.route, scheduling=args.sched,
             cluster_factory=cluster_factory,
+            faults=args.faults, fault_seed=args.fault_seed,
+            failover=not args.no_failover,
             scheduler_kind=args.scheduler, device=args.device,
             framework=args.framework, batch_capacity=args.batch_capacity,
             kv_blocks=args.kv_blocks, block_size=args.block_size,
@@ -384,6 +398,27 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
         ["mean threshold offset per replica",
          "/".join(f"{o:+.2f}" for o in report.replica_threshold_offsets)],
     ]
+    if report.faults != "none":
+        frac = report.recovered_fraction
+        rows += [
+            ["fault plan", f"{report.faults} (seed {report.fault_seed})"],
+            ["crashes / restarts / drains",
+             f"{report.crashes} / {report.restarts} / {report.drains}"],
+            ["failover",
+             "on" if report.failover else "off (ablation: crashed work lost)"],
+            ["requests recovered / lost",
+             f"{report.requests_recovered} / {report.requests_lost}"],
+            ["recovered fraction",
+             "n/a" if frac != frac else f"{frac:.0%}"],
+            ["failover retries", report.retries],
+            ["tokens salvaged / lost",
+             f"{report.tokens_salvaged} / {report.tokens_lost}"],
+            ["kv corruptions detected", report.kv_corruptions],
+            ["degraded ticks / trips",
+             f"{report.degraded_ticks} / {report.degraded_events}"],
+            ["watchdog timeouts", report.watchdog_timeouts],
+            ["replica health", "/".join(report.replica_health)],
+        ]
     workload_desc = (f"closed:{n_clients} clients" if n_clients is not None
                      else f"{args.trace} trace")
     served = (f"tiny-transformer (priced as {args.model})"
@@ -470,7 +505,10 @@ def _cmd_serve(args, out: IO[str]) -> int:
     from repro.eval.harness import build_rig, build_transformer_rig
     from repro.serving import Request
 
-    fleet_mode = args.replicas > 1 or args.clients != "open"
+    # Fault injection is a fleet concern (health, failover, routing), so a
+    # non-empty --faults plan routes through the fleet path even at width 1.
+    fleet_mode = (args.replicas > 1 or args.clients != "open"
+                  or args.faults != "none")
     if args.replicas < 1:
         print(f"serve: --replicas must be >= 1, got {args.replicas}",
               file=sys.stderr)

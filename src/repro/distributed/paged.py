@@ -108,10 +108,11 @@ class ShardedPagedKV:
     def swap_in(self, seq_id: int) -> int:
         """Restore every stage's share from the host pool.
 
-        Capacity is checked across all stages *before* any mutation (using
-        the pool's own :meth:`PagedKVCache.swap_in_blocks_needed`) so a
-        failed swap-in leaves every host copy intact — stages mutate all or
-        none, preserving lockstep.
+        Capacity and blob checksums are checked across all stages *before*
+        any mutation (using the pool's own
+        :meth:`PagedKVCache.swap_in_blocks_needed`/:meth:`PagedKVCache.verify_host`)
+        so a failed swap-in leaves every host copy intact — stages mutate all
+        or none, preserving lockstep.
         """
         for stage in self.stages:
             needed = stage.swap_in_blocks_needed(seq_id)  # KeyError if absent
@@ -120,6 +121,7 @@ class ShardedPagedKV:
                     f"swap-in of sequence {seq_id} needs {needed} blocks per "
                     f"stage, a stage has only {stage.allocator.free_blocks} free"
                 )
+            stage.verify_host(seq_id)  # KVCorruptionError before any mutation
         counts = {stage.swap_in(seq_id) for stage in self.stages}
         if len(counts) != 1:
             raise AssertionError(f"stages diverged on swap_in({seq_id}): {counts}")
@@ -128,6 +130,17 @@ class ShardedPagedKV:
     def is_swapped(self, seq_id: int) -> bool:
         """Whether ``seq_id`` currently lives in the host pool."""
         return self.stages[0].is_swapped(seq_id)
+
+    def drop_host(self, seq_id: int) -> int:
+        """Discard every stage's parked blob (corruption fallback); returns
+        the logical tokens discarded."""
+        counts = {stage.drop_host(seq_id) for stage in self.stages}
+        return counts.pop()
+
+    def corrupt_host(self, seq_id: int, rng: "np.random.Generator") -> None:
+        """Flip one parked value on one stage (fault injection) — lockstep
+        restore then fails that stage's checksum before any stage mutates."""
+        self.stages[int(rng.integers(self.n_stages))].corrupt_host(seq_id, rng)
 
     def host_tokens(self) -> int:
         """Logical tokens parked host-side (per-stage copies count once)."""

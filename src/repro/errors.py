@@ -1,0 +1,22 @@
+"""Typed errors shared across layers.
+
+Lives at the package root so low-level substrates (``repro.nn``) and the
+serving stack (``repro.serving``) can raise and catch the same exception
+types without layering inversions.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KVCorruptionError"]
+
+
+class KVCorruptionError(RuntimeError):
+    """A KV swap blob failed its integrity checksum.
+
+    Raised by :meth:`repro.serving.paged_kv.PagedKVCache.swap_in` and
+    :meth:`repro.nn.attention.KVCache.swap_in` when the data about to be
+    restored does not match the checksum stamped at swap-out time.  The
+    serving failover path catches this and falls back to the deterministic
+    recompute-from-context resume, so a corrupted blob costs extra prefill
+    work but never corrupts decoded tokens.
+    """

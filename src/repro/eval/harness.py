@@ -199,6 +199,9 @@ class Rig:
         route: str = "round_robin",
         scheduling: str = "fifo_priority",
         cluster_factory: Optional[Callable[[], object]] = None,
+        faults=None,
+        fault_seed: int = 0,
+        failover: bool = True,
         **async_kwargs,
     ) -> "ServingRouter":
         """Data-parallel fleet: ``n_replicas`` async serving replicas behind
@@ -209,7 +212,9 @@ class Rig:
         shared, so per-request tokens match a single-replica run).
         ``cluster_factory`` builds one fresh
         :class:`~repro.distributed.ClusterSpec` per replica for a fleet of
-        modelled tp x pp shards.
+        modelled tp x pp shards.  ``faults``/``fault_seed``/``failover``
+        configure deterministic fault injection and crash recovery (see
+        :class:`~repro.serving.faults.FaultPlan` and the router docs).
         """
         from repro.serving.router import ServingRouter
 
@@ -227,7 +232,8 @@ class Rig:
                 cluster=cluster_factory() if cluster_factory else None,
                 **kwargs,
             ))
-        return ServingRouter(replicas, route=route)
+        return ServingRouter(replicas, route=route, faults=faults,
+                             fault_seed=fault_seed, failover=failover)
 
     def fresh_model(self) -> "LayeredLM":
         """A new model instance with identical semantics (independent state)."""

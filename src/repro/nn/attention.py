@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import KVCorruptionError
 from repro.nn.rope import RotaryEmbedding, apply_rope
 from repro.utils.mathx import softmax
 
@@ -111,14 +113,31 @@ class KVCache:
             "v": self._v[:, :, :n].copy(),
             "lengths": self._lengths.copy(),
         }
+        blob["crc"] = self._blob_checksum(blob)
         self._capacity = self._initial
         self._k = np.zeros((self.n_layers, self.n_kv_heads, self._capacity, self.head_dim))
         self._v = np.zeros_like(self._k)
         self._lengths = np.zeros(self.n_layers, dtype=np.int64)
         return blob
 
+    @staticmethod
+    def _blob_checksum(blob: dict) -> int:
+        """CRC32 over a swap blob's tensors and lengths."""
+        crc = zlib.crc32(np.ascontiguousarray(blob["k"]).tobytes())
+        crc = zlib.crc32(np.ascontiguousarray(blob["v"]).tobytes(), crc)
+        return zlib.crc32(np.ascontiguousarray(blob["lengths"]).tobytes(), crc)
+
     def swap_in(self, blob: dict) -> None:
-        """Restore a prefix previously evicted by :meth:`swap_out`."""
+        """Restore a prefix previously evicted by :meth:`swap_out`.
+
+        Blobs stamped by :meth:`swap_out` are verified against their CRC32
+        checksum first; a mismatch raises
+        :class:`~repro.errors.KVCorruptionError` before any cache mutation,
+        so the caller can fall back to a recompute-from-context resume."""
+        if "crc" in blob and self._blob_checksum(blob) != blob["crc"]:
+            raise KVCorruptionError(
+                "KV swap blob failed its checksum "
+                f"(stamped {blob['crc']:#010x}); refusing to restore")
         lengths = np.asarray(blob["lengths"], dtype=np.int64)
         n = int(lengths.max()) if lengths.size else 0
         self._ensure_capacity(max(n, 1))

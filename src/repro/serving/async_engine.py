@@ -78,6 +78,7 @@ import numpy as np
 from repro.config import ModelSpec, get_model_spec
 from repro.core.engine import GenerationResult, SpecEEEngine
 from repro.core.scheduling import Scheduler
+from repro.errors import KVCorruptionError
 from repro.hardware.latency import LatencyModel
 from repro.hardware.ledger import CostLedger, Event
 from repro.model.base import LMState
@@ -85,16 +86,22 @@ from repro.serving.control import (
     ControlPolicy, LoadSignal, SpeculationController,
 )
 from repro.serving.engine import build_paged_cache, default_scheduler_factory
+from repro.serving.faults import ReplicaFaultView
 from repro.serving.request import AdmissionPolicy, Request
 from repro.serving.scheduler import SchedulingPolicy, make_scheduling_policy
 
 __all__ = [
     "AsyncSequence", "AsyncRequestMetrics", "AsyncServingReport",
-    "AsyncServingEngine",
+    "AsyncServingEngine", "CrashSalvage", "DENSE_THRESHOLD",
 ]
 
 ADMISSION_MODES = ("optimistic", "reserve")
 PREEMPTION_MODES = ("auto", "swap", "recompute", "never")
+
+#: Exit threshold no predictor probability can reach: forcing it on every
+#: sequence turns a degraded-mode tick into dense full-depth decode, which is
+#: token-identical by the SpecEE verification guarantee.
+DENSE_THRESHOLD = 2.0
 
 
 @dataclass
@@ -109,6 +116,7 @@ class AsyncSequence:
     prefill_remaining: int
     blocks_reserved: int = 0  # reserve-mode worst-case hold, else 0
     resume_mode: Optional[str] = None  # "swap" | "recompute" while preempted
+    last_progress_step: int = 0  # last tick with prefill/decode/resume progress
     preemptions: int = 0
     swaps: int = 0
     recomputes: int = 0
@@ -129,6 +137,28 @@ class AsyncSequence:
     def decodable(self) -> bool:
         """Whether prefill has finished, i.e. decode ticks may run."""
         return self.prefill_remaining == 0
+
+
+@dataclass
+class CrashSalvage:
+    """Host-side survivors of a replica crash.
+
+    A crash loses the replica's device KV and host swap pool, but the
+    front-end (router) retains every request and the host-side decode state
+    of every admitted sequence — the same survival approximation normal
+    preemption already makes.  ``slots`` are sequences with decoded tokens,
+    adoptable on a healthy replica via the deterministic recompute resume
+    (token-identical continuation); ``requests`` is token-less work (queued,
+    or admitted but still prefilling) to re-route fresh.
+    """
+
+    requests: List[Request] = field(default_factory=list)
+    slots: List["AsyncSequence"] = field(default_factory=list)
+    #: Admitted (running or preempted) sequences at crash time.
+    in_flight: int = 0
+    #: Decoded tokens held by the salvaged slots (re-decode is avoided; their
+    #: KV must still be rebuilt on the adopting replica).
+    decoded_tokens: int = 0
 
 
 @dataclass
@@ -187,6 +217,21 @@ class AsyncServingReport:
     #: Mean actuated exit-threshold offset across per-sequence decode
     #: decisions (0.0 under "off"/"static").
     mean_threshold_offset: float = 0.0
+    # -- fault/recovery accounting (all zero on a fault-free run) --
+    #: Ticks decoded in degraded mode (speculation kill-switch engaged).
+    degraded_ticks: int = 0
+    #: Times the kill-switch tripped (anomaly streak or checksum failure).
+    degraded_events: int = 0
+    #: Ticks that ran inside an injected predictor-anomaly window.
+    anomalous_ticks: int = 0
+    #: Swap blobs that failed their checksum (each fell back to recompute).
+    kv_corruptions: int = 0
+    #: Sequences failed by the no-progress watchdog.
+    watchdog_timeouts: int = 0
+    #: Ticks repriced by an injected transient slowdown.
+    slowed_ticks: int = 0
+    #: Times this replica crashed (``AsyncServingEngine.fail``).
+    crashes: int = 0
 
     @property
     def total_tokens(self) -> int:
@@ -301,6 +346,10 @@ class AsyncServingEngine:
         batched: Optional[bool] = None,
         control: Union[str, ControlPolicy, SpeculationController, None] = None,
         control_seed: int = 0,
+        faults: Optional[ReplicaFaultView] = None,
+        watchdog_ticks: Optional[int] = None,
+        degrade_window: int = 8,
+        anomaly_detect_ticks: int = 2,
     ):
         """Build the async server.
 
@@ -322,6 +371,16 @@ class AsyncServingEngine:
         draft-length overrides.  ``None`` (the default) decodes with the
         engine's static configuration — token-identical to ``"static"``.
         ``control_seed`` feeds the bandit's sampling stream.
+
+        ``faults`` attaches a :class:`~repro.serving.faults.ReplicaFaultView`
+        the engine polls every tick (slowdowns, predictor anomalies,
+        KV-corruption arms) — usually wired by the router from a fleet-level
+        :class:`~repro.serving.faults.FaultInjector`.  ``watchdog_ticks``
+        fails any admitted sequence that makes no prefill/decode/resume
+        progress for that many consecutive ticks (None disables the
+        watchdog).  ``anomaly_detect_ticks`` consecutive anomalous ticks trip
+        the speculation kill-switch into degraded dense decode, which re-arms
+        after ``degrade_window`` clean ticks.
         """
         if admission not in ADMISSION_MODES:
             raise ValueError(f"admission must be one of {ADMISSION_MODES}")
@@ -329,6 +388,10 @@ class AsyncServingEngine:
             raise ValueError(f"preemption must be one of {PREEMPTION_MODES}")
         if chunk_prefill_tokens is not None and chunk_prefill_tokens < 1:
             raise ValueError("chunk_prefill_tokens must be >= 1 (or None)")
+        if watchdog_ticks is not None and watchdog_ticks < 1:
+            raise ValueError("watchdog_ticks must be >= 1 (or None)")
+        if degrade_window < 1 or anomaly_detect_ticks < 1:
+            raise ValueError("degrade_window and anomaly_detect_ticks must be >= 1")
         self.engine = engine
         if isinstance(model_spec, str):
             model_spec = get_model_spec(model_spec)
@@ -362,6 +425,10 @@ class AsyncServingEngine:
             self.controller = SpeculationController(
                 control, k=engine.config.num_speculative,
                 base_threshold=engine.config.exit_threshold, seed=control_seed)
+        self.faults = faults
+        self.watchdog_ticks = watchdog_ticks
+        self.degrade_window = degrade_window
+        self.anomaly_detect_ticks = anomaly_detect_ticks
         # Service-rate estimate for deadline slack: starts at the roofline
         # full-depth token time, replaced by the run's observed tick time
         # once ticks exist (see _service_estimate_s).
@@ -376,6 +443,11 @@ class AsyncServingEngine:
         self.reserved_blocks = 0
         self.step_count = 0
         self.now_s = 0.0
+        self.dead = False
+        self.degraded = False
+        self._anomaly_streak = 0
+        self._clean_streak = 0
+        self._salvage: Dict[int, AsyncSequence] = {}
         self._prompt_tokens = 0
         self._wall_start = time.perf_counter()
 
@@ -435,11 +507,23 @@ class AsyncServingEngine:
                 break  # lower-priority slots must not jump the queue
             self.preempted.pop(0)
             if slot.resume_mode == "swap":
-                moved = self.cache.swap_in(slot.request_id)
-                tick.add(Event.KV_SWAP, calls=1, units=moved)
-                slot.swapped_tokens += moved
-                self.engine.model.swap_in_state(slot.state)
-            else:  # recompute: rebuild paged KV from the recorded exit states
+                try:
+                    moved = self.cache.swap_in(slot.request_id)
+                except KVCorruptionError:
+                    # The parked blob is damaged: discard it, trip the
+                    # kill-switch, and fall through to the recompute resume —
+                    # more prefill work, identical tokens.
+                    self.report.kv_corruptions += 1
+                    self.cache.drop_host(slot.request_id)
+                    self.engine.model.drop_state_kv(slot.state)
+                    slot.resume_mode = "recompute"
+                    self._trip_degraded()
+                else:
+                    tick.add(Event.KV_SWAP, calls=1, units=moved)
+                    slot.swapped_tokens += moved
+                    self.engine.model.swap_in_state(slot.state)
+            if slot.resume_mode == "recompute":
+                # Rebuild paged KV from the recorded exit states.
                 self.cache.add_sequence(slot.request_id)
                 for record in slot.result.records:
                     kv = record.hidden.reshape(self.cache.n_kv_heads, self.cache.head_dim)
@@ -451,6 +535,7 @@ class AsyncServingEngine:
                 slot.recomputes += 1
                 self.engine.model.recompute_state(slot.state)
             slot.resume_mode = None
+            slot.last_progress_step = self.step_count
             self.running.append(slot)
 
     def _admissible(self, request: Request) -> bool:
@@ -465,6 +550,23 @@ class AsyncServingEngine:
         admitted: List[AsyncSequence] = []
         while self.waiting and self._admissible(self.waiting[0]):
             request = self.waiting.pop(0)
+            salvaged = self._salvage.pop(request.request_id, None)
+            if salvaged is not None:
+                # Failover adoption: the sequence already decoded tokens on a
+                # crashed replica; its host-side state survives, only KV must
+                # be rebuilt.  Admission places it straight into the
+                # preempted list and the recompute resume does the rest —
+                # the continuation is token-identical.
+                salvaged.admitted_step = self.step_count
+                salvaged.last_progress_step = self.step_count
+                salvaged.resume_mode = "recompute"
+                salvaged.prefill_remaining = 0
+                if self.admission == "reserve":
+                    salvaged.blocks_reserved = self.policy.blocks_needed(request)
+                    self.reserved_blocks += salvaged.blocks_reserved
+                self.preempted.append(salvaged)
+                admitted.append(salvaged)
+                continue
             state, result = self.engine.prefill(request.prompt, script=request.script)
             scheduler = self.scheduler_factory()
             scheduler.reset()
@@ -473,6 +575,7 @@ class AsyncServingEngine:
                 request=request, state=state, result=result, scheduler=scheduler,
                 admitted_step=self.step_count,
                 prefill_remaining=len(request.prompt),
+                last_progress_step=self.step_count,
             )
             if self.admission == "reserve":
                 slot.blocks_reserved = self.policy.blocks_needed(request)
@@ -495,6 +598,7 @@ class AsyncServingEngine:
                 take = slot.prefill_remaining
                 tick.add(Event.PREFILL_LAYER, calls=n_layers, units=n_layers * take)
                 slot.prefill_remaining = 0
+                slot.last_progress_step = self.step_count
             return True
         budget = self.chunk_prefill_tokens
         for slot in prefilling:
@@ -504,6 +608,8 @@ class AsyncServingEngine:
             tick.add(Event.PREFILL_LAYER, calls=n_layers, units=n_layers * take)
             slot.prefill_remaining -= take
             budget -= take
+            if take:
+                slot.last_progress_step = self.step_count
         return False
 
     def _preempt(self, slot: AsyncSequence, tick: CostLedger) -> None:
@@ -578,6 +684,12 @@ class AsyncServingEngine:
         if self.controller is not None and runnable:
             exit_ths, draft_ls = self.controller.overrides(
                 [slot.request_id for slot in runnable])
+        if self.degraded and runnable:
+            # Kill-switch engaged: force dense full-depth decode (no
+            # predictor probability can reach DENSE_THRESHOLD) and minimal
+            # drafts, overriding any controller actuation.
+            exit_ths = [DENSE_THRESHOLD] * len(runnable)
+            draft_ls = [1] * len(runnable)
         if self.batched:
             records = self.engine.step_batch(
                 [slot.state for slot in runnable],
@@ -600,6 +712,7 @@ class AsyncServingEngine:
             depths.append(record.exit_layer + 1)
             kv = record.hidden.reshape(self.cache.n_kv_heads, self.cache.head_dim)
             self.cache.append(slot.request_id, kv, kv)
+            slot.last_progress_step = self.step_count
         if depths:
             batches = [sum(1 for d in depths if d > l) for l in range(max(depths))]
             if sum(batches) != dropped_layers:
@@ -646,6 +759,140 @@ class AsyncServingEngine:
             report.results[slot.request_id] = slot.result
         return finished
 
+    # -- faults, degraded mode, watchdog --------------------------------------
+    def _trip_degraded(self) -> None:
+        """Engage the speculation kill-switch: every subsequent decode tick
+        runs dense full-depth until ``degrade_window`` clean ticks re-arm."""
+        if not self.degraded:
+            self.degraded = True
+            self.report.degraded_events += 1
+        self._clean_streak = 0
+
+    def _consume_corruption(self) -> None:
+        """Fire any due KV-corruption fault at a host-parked swap blob.
+
+        The fault stays armed until a swapped-out sequence exists; the
+        victim (and the flipped value) come from the fault view's seeded RNG,
+        so a given plan+seed damages the same blob every run."""
+        if self.faults is None or not self.faults.corruption_pending(self.now_s):
+            return
+        swapped = [s for s in self.preempted if s.resume_mode == "swap"]
+        if not swapped:
+            return
+        self.faults.take_corruption(self.now_s)
+        victim = swapped[int(self.faults.rng.integers(len(swapped)))]
+        self.cache.corrupt_host(victim.request_id, self.faults.rng)
+
+    def _poll_anomaly(self, runnable_count: int, tick: CostLedger) -> None:
+        """Advance the degraded-mode state machine one tick.
+
+        Inside an injected anomaly window the predictor fires spuriously:
+        until ``anomaly_detect_ticks`` consecutive anomalous ticks trip the
+        kill-switch, each tick charges wasted full-vocabulary verifications
+        (two per runnable sequence) — the cost of speculating on garbage.
+        Once degraded, decode runs dense (no speculation, no waste) and
+        ``degrade_window`` clean ticks re-arm speculation."""
+        anomalous = self.faults is not None and self.faults.anomaly_active(self.now_s)
+        if anomalous:
+            self.report.anomalous_ticks += 1
+            self._anomaly_streak += 1
+            self._clean_streak = 0
+            if not self.degraded and self._anomaly_streak >= self.anomaly_detect_ticks:
+                self._trip_degraded()
+            if not self.degraded and runnable_count:
+                tick.add(Event.LM_HEAD_FULL, calls=2 * runnable_count,
+                         units=2 * runnable_count)
+        else:
+            self._anomaly_streak = 0
+            if self.degraded:
+                self._clean_streak += 1
+                if self._clean_streak >= self.degrade_window:
+                    self.degraded = False
+                    self._clean_streak = 0
+        if self.degraded:
+            self.report.degraded_ticks += 1
+
+    def _fail_slot(self, slot: AsyncSequence, reason: str) -> None:
+        """Evict an admitted sequence as failed: free its device/host KV,
+        release any reservation, and record a typed rejection."""
+        if slot in self.running:
+            self.running.remove(slot)
+            self.cache.free_sequence(slot.request_id)
+        else:
+            self.preempted.remove(slot)
+            if slot.resume_mode == "swap":
+                self.cache.drop_host(slot.request_id)
+        self.engine.model.drop_state_kv(slot.state)
+        if self.admission == "reserve":
+            self.reserved_blocks -= slot.blocks_reserved
+            slot.blocks_reserved = 0
+        self.report.rejected[slot.request_id] = reason
+        if slot.request.slo_s is not None:
+            self.report.rejected_with_slo += 1
+
+    def _watchdog_sweep(self) -> None:
+        """Fail admitted sequences with no progress for ``watchdog_ticks``
+        consecutive ticks (hung resume, starved preemption) so a stuck
+        sequence becomes a typed rejection instead of an infinite run."""
+        if self.watchdog_ticks is None:
+            return
+        stale = [s for s in self.running + self.preempted
+                 if self.step_count - s.last_progress_step >= self.watchdog_ticks]
+        for slot in stale:
+            self._fail_slot(
+                slot, f"watchdog timeout: no token progress for "
+                      f"{self.watchdog_ticks} ticks")
+            self.report.watchdog_timeouts += 1
+
+    def fail(self) -> CrashSalvage:
+        """Crash this replica: device and host KV vanish, the pool is
+        rebuilt empty, and the replica stops serving until :meth:`restart`.
+
+        Returns the :class:`CrashSalvage` the router can fail over —
+        token-less work as plain requests, decoded-token sequences as
+        adoptable slots (their host-side state survives, as it does under
+        normal preemption).  The replica's report keeps everything it
+        finished before the crash."""
+        live = self.running + self.preempted
+        slots = [s for s in live if s.result.tokens]
+        requests = [s.request for s in live if not s.result.tokens]
+        for request in list(self.waiting) + list(self.pending):
+            adopted = self._salvage.pop(request.request_id, None)
+            if adopted is not None:
+                slots.append(adopted)  # salvage delivered here, not yet admitted
+            else:
+                requests.append(request)
+        salvage = CrashSalvage(
+            requests=requests, slots=slots, in_flight=len(live),
+            decoded_tokens=sum(len(s.result.tokens) for s in slots),
+        )
+        for slot in live:
+            self.engine.model.drop_state_kv(slot.state)
+            slot.resume_mode = None
+            slot.blocks_reserved = 0
+        self.running, self.preempted = [], []
+        self.waiting, self.pending = [], []
+        self._salvage.clear()
+        self.reserved_blocks = 0
+        self.report.crashes += 1
+        self.dead = True
+        self.cache = build_paged_cache(
+            self.engine, self.cache.allocator.n_blocks, self.cache.block_size,
+            self.cache.n_kv_heads,
+            n_stages=self.cluster.pp if self.cluster is not None else 1,
+        )
+        return salvage
+
+    def restart(self, at_s: float) -> None:
+        """Bring a :meth:`fail`-ed replica back with an empty KV pool; its
+        clock resumes no earlier than the restart time and its degraded
+        state clears (a fresh process)."""
+        self.dead = False
+        self.degraded = False
+        self._anomaly_streak = 0
+        self._clean_streak = 0
+        self.now_s = max(self.now_s, at_s)
+
     # -- the stepping API ----------------------------------------------------
     def begin(self, trace: Sequence[Request]) -> None:
         """Reset per-run state and load ``trace`` as the pending arrivals.
@@ -659,6 +906,11 @@ class AsyncServingEngine:
         self.report = AsyncServingReport()
         self.waiting, self.running, self.preempted = [], [], []
         self.reserved_blocks, self.step_count, self.now_s = 0, 0, 0.0
+        self.dead = False
+        self.degraded = False
+        self._anomaly_streak = 0
+        self._clean_streak = 0
+        self._salvage = {}
         self._prompt_tokens = 0
         self._wall_start = time.perf_counter()
         self._service_s = self._per_token_s
@@ -672,12 +924,19 @@ class AsyncServingEngine:
             n_stages=self.cluster.pp if self.cluster is not None else 1,
         )
 
-    def submit(self, request: Request) -> None:
+    def submit(self, request: Request,
+               salvage: Optional[AsyncSequence] = None) -> None:
         """Inject ``request`` into the live run (arrival order preserved).
 
         The router's delivery path: a routed request joins this replica's
         pending arrivals and becomes visible at its own ``arrival_s`` — or at
-        the replica's current clock if that has already passed."""
+        the replica's current clock if that has already passed.  ``salvage``
+        hands over a sequence rescued from a crashed replica: on admission
+        the slot is adopted as-is (decoded tokens, predictor scheduler and
+        model state intact) and resumed through the deterministic recompute
+        path instead of a fresh prefill."""
+        if salvage is not None:
+            self._salvage[request.request_id] = salvage
         bisect.insort(self.pending, request,
                       key=lambda r: (r.arrival_s, r.request_id))
 
@@ -694,6 +953,8 @@ class AsyncServingEngine:
         router's closed-loop clients hook); an idle tick that only absorbed
         rejected arrivals prices nothing and returns ``[]``.
         """
+        if self.dead:
+            return []  # a crashed replica serves nothing until restart()
         report = self.report
         self._service_s = self._service_estimate_s()
         if not (self.waiting or self.running or self.preempted):
@@ -704,6 +965,7 @@ class AsyncServingEngine:
         self._absorb_arrivals(self.pending, report)
         if not (self.waiting or self.running or self.preempted):
             return []  # every arrival in this window was rejected
+        self._consume_corruption()  # damage blobs before this tick's resumes
         self._resume_preempted(tick)
         admitted = self._admit(report)
         self._prompt_tokens += sum(len(s.request.prompt) for s in admitted)
@@ -712,6 +974,7 @@ class AsyncServingEngine:
         if not suppressed:
             runnable = [s for s in self.running if s.decodable and not s.done]
             self._ensure_decode_blocks(runnable, tick)
+            self._poll_anomaly(len(runnable), tick)
             if self.controller is not None:
                 # Signal after admission/preemption resolved, so queue depth
                 # and KV pressure describe the batch this decode will run.
@@ -721,11 +984,17 @@ class AsyncServingEngine:
         report.peak_kv_blocks = max(report.peak_kv_blocks, self.cache.blocks_in_use())
         report.peak_host_tokens = max(report.peak_host_tokens, self.cache.host_tokens())
         finished = self._retire(report)
+        self._watchdog_sweep()
 
         if self.cluster is not None:
             self._record_sharded_events(tick, depths)
         tick.steps = 1
         dt = self.latency.price(tick).total_s
+        if self.faults is not None:
+            factor = self.faults.slowdown_factor(self.now_s)
+            if factor > 1.0:
+                dt *= factor  # transient straggler: same work, slower tick
+                report.slowed_ticks += 1
         self.now_s += dt
         report.tick_seconds.append(dt)
         report.serving_ledger.merge(tick)

@@ -1,0 +1,435 @@
+"""Seeded, deterministic fault injection for the serving fleet.
+
+The serving stack models a production fleet; production fleets fail.  This
+module is the substrate that lets every failure mode be exercised
+*deterministically* on the modelled clock, so recovery behaviour is testable
+and benchmarkable like any other scheduling decision:
+
+* :class:`ReplicaCrash` — a replica dies at ``at_s``, permanently or with a
+  restart ``down_s`` modelled seconds later.  Its device KV and host swap
+  pool are lost; the router salvages host-side request state and fails the
+  in-flight work over to healthy replicas (see
+  :class:`~repro.serving.router.ServingRouter`).
+* :class:`TickSlowdown` — a transient per-tick slowdown window (straggler
+  GPU, thermal throttle): every tick priced inside the window costs
+  ``factor`` times more modelled time.
+* :class:`KVCorruption` — arms one bit-flip of a host-parked swap blob; the
+  checksum stamped at swap-out detects it at swap-in
+  (:class:`~repro.errors.KVCorruptionError`) and the engine falls back to
+  the deterministic recompute resume.
+* :class:`PredictorAnomaly` — the exit predictor goes haywire for a window
+  (the SpecEE failure mode): until the engine's kill-switch detects the
+  anomaly streak it pays wasted verification work; once detected the engine
+  enters *degraded mode* — dense full-depth decode, the LayerSkip-style
+  fallback — and re-arms speculation after a clean window.
+* :class:`ReplicaDrain` — the replica finishes its in-flight work but
+  receives no new routes (planned maintenance).
+
+A :class:`FaultPlan` is an immutable, seed-resolvable schedule of such
+events; :class:`FaultInjector` resolves it (``replica="any"`` picks are
+seeded) into router-level state transitions plus one
+:class:`ReplicaFaultView` per replica that the async engines poll on their
+own modelled clocks.  An empty plan injects nothing and leaves every report
+token-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ReplicaCrash", "TickSlowdown", "KVCorruption", "PredictorAnomaly",
+    "ReplicaDrain", "FaultPlan", "FaultInjector", "ReplicaFaultView",
+    "ReplicaHealth", "FAULT_PRESETS",
+]
+
+#: ``replica="any"`` sentinel: the injector picks a replica with its seed.
+ANY_REPLICA = "any"
+
+
+def _check_time(at_s: float) -> float:
+    if at_s < 0:
+        raise ValueError(f"fault time must be >= 0, got {at_s}")
+    return float(at_s)
+
+
+@dataclass(frozen=True)
+class ReplicaCrash:
+    """Replica ``replica`` dies at ``at_s``; ``down_s`` None = permanent,
+    otherwise the replica restarts ``down_s`` modelled seconds later with a
+    fresh (empty) KV pool."""
+
+    at_s: float
+    replica: Union[int, str] = ANY_REPLICA
+    down_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Validate the crash schedule."""
+        _check_time(self.at_s)
+        if self.down_s is not None and self.down_s <= 0:
+            raise ValueError("down_s must be positive (or None for permanent)")
+
+
+@dataclass(frozen=True)
+class TickSlowdown:
+    """Ticks on ``replica`` inside ``[at_s, at_s + duration_s)`` cost
+    ``factor`` times more modelled time (transient straggler)."""
+
+    at_s: float
+    factor: float
+    duration_s: float
+    replica: Union[int, str] = ANY_REPLICA
+
+    def __post_init__(self) -> None:
+        """Validate the slowdown window."""
+        _check_time(self.at_s)
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+
+@dataclass(frozen=True)
+class KVCorruption:
+    """From ``at_s`` on, the next host-parked swap blob on ``replica`` gets
+    one value flipped; the swap-in checksum turns it into a detected fault."""
+
+    at_s: float
+    replica: Union[int, str] = ANY_REPLICA
+
+    def __post_init__(self) -> None:
+        """Validate the corruption arm time."""
+        _check_time(self.at_s)
+
+
+@dataclass(frozen=True)
+class PredictorAnomaly:
+    """The exit predictor misbehaves on ``replica`` for ``duration_s``
+    seconds from ``at_s`` — wasted verification until the kill-switch trips."""
+
+    at_s: float
+    duration_s: float
+    replica: Union[int, str] = ANY_REPLICA
+
+    def __post_init__(self) -> None:
+        """Validate the anomaly window."""
+        _check_time(self.at_s)
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+
+@dataclass(frozen=True)
+class ReplicaDrain:
+    """``replica`` stops receiving new routes at ``at_s`` but finishes its
+    in-flight work (planned maintenance / scale-down)."""
+
+    at_s: float
+    replica: Union[int, str] = ANY_REPLICA
+
+    def __post_init__(self) -> None:
+        """Validate the drain time."""
+        _check_time(self.at_s)
+
+
+FaultEvent = Union[ReplicaCrash, TickSlowdown, KVCorruption,
+                   PredictorAnomaly, ReplicaDrain]
+
+_SPEC_KINDS = {
+    "crash": ReplicaCrash,
+    "slow": TickSlowdown,
+    "corrupt": KVCorruption,
+    "anomaly": PredictorAnomaly,
+    "drain": ReplicaDrain,
+}
+
+#: Named plans ``repro serve --faults`` accepts next to explicit specs.
+FAULT_PRESETS: Dict[str, str] = {
+    "none": "",
+    "single-crash": "crash@0.3:replica=0",
+    "crash-restart": "crash@0.3:replica=0,down=0.5",
+    "degraded-spec": "anomaly@0.2:replica=0,duration=0.6",
+    "chaos": ("crash@0.4:replica=any,down=0.8;"
+              "slow@0.2:replica=any,factor=3.0,duration=0.5;"
+              "corrupt@0.3:replica=any;"
+              "anomaly@0.5:replica=any,duration=0.4"),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events on the modelled clock.
+
+    Build one from event dataclasses, :meth:`parse` a compact spec string
+    (``kind@T:key=val,...`` joined by ``;``), or pick a named preset from
+    :data:`FAULT_PRESETS`.  ``replica="any"`` entries stay symbolic until a
+    :class:`FaultInjector` resolves them with its seed, so one plan is
+    reusable across fleet widths."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: injects nothing, perturbs nothing."""
+        return cls(())
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``"crash@0.5:replica=0,down=2;slow@0.2:factor=3,duration=1"``.
+
+        Preset names from :data:`FAULT_PRESETS` are accepted too; an empty
+        string (or ``"none"``) is the empty plan."""
+        if spec in FAULT_PRESETS:
+            spec = FAULT_PRESETS[spec]
+        events: List[FaultEvent] = []
+        for chunk in filter(None, (c.strip() for c in spec.split(";"))):
+            head, _, params = chunk.partition(":")
+            kind, at, at_s = head.partition("@")
+            if kind not in _SPEC_KINDS or not at:
+                raise ValueError(
+                    f"bad fault spec {chunk!r}: want kind@time[:k=v,...] with "
+                    f"kind in {sorted(_SPEC_KINDS)}")
+            kwargs: Dict[str, Union[int, float, str]] = {"at_s": float(at_s)}
+            for pair in filter(None, (p.strip() for p in params.split(","))):
+                key, _, value = pair.partition("=")
+                if key == "replica":
+                    kwargs["replica"] = (value if value == ANY_REPLICA
+                                         else int(value))
+                elif key in ("down", "down_s"):
+                    kwargs["down_s"] = float(value)
+                elif key in ("duration", "duration_s"):
+                    kwargs["duration_s"] = float(value)
+                elif key == "factor":
+                    kwargs["factor"] = float(value)
+                else:
+                    raise ValueError(f"bad fault spec {chunk!r}: unknown "
+                                     f"parameter {key!r}")
+            try:
+                events.append(_SPEC_KINDS[kind](**kwargs))
+            except TypeError as exc:
+                raise ValueError(f"bad fault spec {chunk!r}: {exc}") from None
+        return cls(tuple(events))
+
+    @classmethod
+    def chaos(cls, duration_s: float, seed: int = 0, n_crashes: int = 1,
+              n_slowdowns: int = 1, n_corruptions: int = 1,
+              n_anomalies: int = 1, restart_fraction: float = 0.5,
+              ) -> "FaultPlan":
+        """A seeded random plan over ``[0, duration_s)`` for chaos sweeps."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        rng = np.random.default_rng(seed)
+        t = lambda: float(rng.uniform(0.05, duration_s))
+        events: List[FaultEvent] = []
+        for _ in range(n_crashes):
+            down = (float(rng.uniform(0.2, 0.6) * duration_s)
+                    if rng.random() < restart_fraction else None)
+            events.append(ReplicaCrash(t(), down_s=down))
+        for _ in range(n_slowdowns):
+            events.append(TickSlowdown(t(), factor=float(rng.uniform(2.0, 5.0)),
+                                       duration_s=float(rng.uniform(0.1, 0.4)
+                                                        * duration_s)))
+        for _ in range(n_corruptions):
+            events.append(KVCorruption(t()))
+        for _ in range(n_anomalies):
+            events.append(PredictorAnomaly(t(), duration_s=float(
+                rng.uniform(0.1, 0.3) * duration_s)))
+        return cls(tuple(events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def name(self) -> str:
+        """Compact description for reports ("none" for the empty plan)."""
+        if not self.events:
+            return "none"
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            key = next(k for k, c in _SPEC_KINDS.items() if isinstance(event, c))
+            counts[key] = counts.get(key, 0) + 1
+        return "+".join(f"{n}x{k}" if n > 1 else k
+                        for k, n in sorted(counts.items()))
+
+
+def resolve_fault_plan(spec: Union[None, str, FaultPlan,
+                                   Sequence[FaultEvent]]) -> FaultPlan:
+    """Normalise None / spec string / preset / event list to a FaultPlan."""
+    if spec is None:
+        return FaultPlan.none()
+    if isinstance(spec, FaultPlan):
+        return spec
+    if isinstance(spec, str):
+        return FaultPlan.parse(spec)
+    return FaultPlan(tuple(spec))
+
+
+# ---------------------------------------------------------------------------
+# replica health (router bookkeeping, but defined with the faults it tracks)
+# ---------------------------------------------------------------------------
+@dataclass
+class ReplicaHealth:
+    """One replica's liveness as the router sees it.
+
+    ``alive`` replicas are routable; ``draining`` replicas finish in-flight
+    work but receive nothing new; ``dead`` replicas serve nothing.  Crashes
+    bump ``consecutive_failures``; any completed request resets the streak;
+    a replica whose streak reaches ``permanent_after`` is marked permanently
+    dead — its scheduled restarts are ignored (the crash-looping-host rule
+    every production health checker implements)."""
+
+    state: str = "alive"
+    crashes: int = 0
+    consecutive_failures: int = 0
+    permanent_after: int = 2
+    permanently_dead: bool = False
+
+    @property
+    def routable(self) -> bool:
+        """Whether new requests may be routed here."""
+        return self.state == "alive"
+
+    @property
+    def serving(self) -> bool:
+        """Whether the replica may still advance in-flight work."""
+        return self.state != "dead"
+
+    def record_crash(self) -> None:
+        """Mark the replica dead and advance the failure streak."""
+        self.state = "dead"
+        self.crashes += 1
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.permanent_after:
+            self.permanently_dead = True
+
+    def record_completion(self) -> None:
+        """A served request proves the replica healthy: reset the streak."""
+        self.consecutive_failures = 0
+
+    def revive(self) -> bool:
+        """Bring a dead replica back (restart); refused once permanently
+        dead.  Returns whether the revive took effect."""
+        if self.permanently_dead or self.state != "dead":
+            return False
+        self.state = "alive"
+        return True
+
+    def drain(self) -> None:
+        """Stop routing new work here; in-flight work continues."""
+        if self.state == "alive":
+            self.state = "draining"
+
+
+# ---------------------------------------------------------------------------
+# the injector
+# ---------------------------------------------------------------------------
+class ReplicaFaultView:
+    """One replica's slice of the resolved plan, polled on its own clock."""
+
+    def __init__(self, slowdowns: List[TickSlowdown],
+                 anomalies: List[PredictorAnomaly],
+                 corruption_times: List[float], seed: int):
+        """Bind the per-replica windows and the corruption RNG stream."""
+        self._slowdowns = slowdowns
+        self._anomalies = anomalies
+        self._corruptions = sorted(corruption_times)
+        self.rng = np.random.default_rng(seed)
+
+    def slowdown_factor(self, now_s: float) -> float:
+        """Product of every slowdown window active at ``now_s`` (1.0 = none)."""
+        factor = 1.0
+        for event in self._slowdowns:
+            if event.at_s <= now_s < event.at_s + event.duration_s:
+                factor *= event.factor
+        return factor
+
+    def anomaly_active(self, now_s: float) -> bool:
+        """Whether a predictor-anomaly window covers ``now_s``."""
+        return any(e.at_s <= now_s < e.at_s + e.duration_s
+                   for e in self._anomalies)
+
+    def corruption_pending(self, now_s: float) -> bool:
+        """Whether an armed corruption is due at ``now_s``."""
+        return bool(self._corruptions) and self._corruptions[0] <= now_s
+
+    def take_corruption(self, now_s: float) -> bool:
+        """Consume one due corruption event (returns False when none due)."""
+        if not self.corruption_pending(now_s):
+            return False
+        self._corruptions.pop(0)
+        return True
+
+
+class FaultInjector:
+    """A :class:`FaultPlan` resolved against a concrete fleet.
+
+    ``replica="any"`` picks are drawn from ``seed`` — one injector is one
+    deterministic chaos run.  Router-level transitions (crash / revive /
+    drain) come out of :meth:`next_transition_s` / :meth:`pop_transition`;
+    per-replica windows are served through :meth:`view`.
+    """
+
+    def __init__(self, plan: Union[None, str, FaultPlan], n_replicas: int,
+                 seed: int = 0):
+        """Resolve ``plan`` for ``n_replicas`` replicas under ``seed``."""
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.plan = resolve_fault_plan(plan)
+        self.n_replicas = n_replicas
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        pick = lambda r: (int(rng.integers(n_replicas))
+                          if r == ANY_REPLICA else int(r))
+        # (time, priority, kind, replica); revive sorts after a same-time
+        # crash, and crash after drain, via the priority field.
+        self.transitions: List[Tuple[float, int, str, int]] = []
+        slowdowns: Dict[int, List[TickSlowdown]] = {}
+        anomalies: Dict[int, List[PredictorAnomaly]] = {}
+        corruptions: Dict[int, List[float]] = {}
+        for event in self.plan.events:
+            replica = pick(event.replica)
+            if not 0 <= replica < n_replicas:
+                raise ValueError(
+                    f"fault event targets replica {replica}, fleet has "
+                    f"{n_replicas}")
+            if isinstance(event, ReplicaCrash):
+                self.transitions.append((event.at_s, 1, "crash", replica))
+                if event.down_s is not None:
+                    self.transitions.append(
+                        (event.at_s + event.down_s, 2, "revive", replica))
+            elif isinstance(event, ReplicaDrain):
+                self.transitions.append((event.at_s, 0, "drain", replica))
+            elif isinstance(event, TickSlowdown):
+                slowdowns.setdefault(replica, []).append(event)
+            elif isinstance(event, PredictorAnomaly):
+                anomalies.setdefault(replica, []).append(event)
+            else:  # KVCorruption
+                corruptions.setdefault(replica, []).append(event.at_s)
+        self.transitions.sort()
+        self._views = [
+            ReplicaFaultView(slowdowns.get(i, []), anomalies.get(i, []),
+                             corruptions.get(i, []),
+                             seed=np.random.default_rng((seed, i)).integers(2**31))
+            for i in range(n_replicas)
+        ]
+
+    def view(self, replica: int) -> ReplicaFaultView:
+        """The per-replica window view engines poll each tick."""
+        return self._views[replica]
+
+    def next_transition_s(self) -> float:
+        """Time of the next pending crash/revive/drain (+inf when none)."""
+        return self.transitions[0][0] if self.transitions else float("inf")
+
+    def next_revive_s(self) -> float:
+        """Time of the next pending revive (+inf when none) — what failover
+        delivery waits on when every replica is currently down."""
+        times = [t for t, _, kind, _ in self.transitions if kind == "revive"]
+        return min(times) if times else float("inf")
+
+    def pop_transition(self) -> Tuple[float, str, int]:
+        """Consume the next (time, kind, replica) transition."""
+        at_s, _, kind, replica = self.transitions.pop(0)
+        return at_s, kind, replica

@@ -12,11 +12,21 @@ bit-exactly.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Tuple
 
 import numpy as np
 
-__all__ = ["BlockAllocator", "PagedKVCache"]
+from repro.errors import KVCorruptionError
+
+__all__ = ["BlockAllocator", "PagedKVCache", "kv_checksum"]
+
+
+def kv_checksum(k: np.ndarray, v: np.ndarray) -> int:
+    """CRC32 over a key/value pair's bytes — the integrity stamp swap blobs
+    carry so :meth:`PagedKVCache.swap_in` can detect host-side corruption."""
+    crc = zlib.crc32(np.ascontiguousarray(k).tobytes())
+    return zlib.crc32(np.ascontiguousarray(v).tobytes(), crc)
 
 
 class BlockAllocator:
@@ -78,8 +88,9 @@ class PagedKVCache:
         self._v = np.zeros(shape)
         # seq_id -> (block_table, token_count)
         self._tables: Dict[int, Tuple[List[int], int]] = {}
-        # seq_id -> (k, v) contiguous copies parked in host memory (swap-out)
-        self._host: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        # seq_id -> (k, v, crc) contiguous copies parked in host memory
+        # (swap-out); crc is the checksum stamped at eviction time.
+        self._host: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
 
     # -- sequence management ---------------------------------------------------
     def add_sequence(self, seq_id: int) -> None:
@@ -145,14 +156,15 @@ class PagedKVCache:
     def swap_out(self, seq_id: int) -> int:
         """Evict a sequence's KV to host memory, freeing its device blocks.
 
-        The contiguous gather view is parked host-side so :meth:`swap_in` can
-        restore the cache bit-exactly; returns the number of tokens moved.
+        The contiguous gather view is parked host-side, stamped with a CRC32
+        checksum so :meth:`swap_in` can prove it restores the cache
+        bit-exactly; returns the number of tokens moved.
         """
         if seq_id in self._host:
             raise ValueError(f"sequence {seq_id} is already swapped out")
         table, count = self._require(seq_id)
         k, v = self.gather(seq_id)
-        self._host[seq_id] = (k, v)
+        self._host[seq_id] = (k, v, kv_checksum(k, v))
         for block in table:
             self.allocator.free(block)
         del self._tables[seq_id]
@@ -171,11 +183,29 @@ class PagedKVCache:
         count = self.host_length(seq_id)
         return -(-count // self.block_size) if count else 0
 
+    def verify_host(self, seq_id: int) -> None:
+        """Check a parked blob against its swap-out checksum.
+
+        Raises :class:`~repro.errors.KVCorruptionError` (leaving the blob in
+        place for the caller to :meth:`drop_host`) when the parked bytes no
+        longer match the stamp — the detection half of the fault-injection
+        story."""
+        if seq_id not in self._host:
+            raise KeyError(f"sequence {seq_id} is not swapped out")
+        k, v, crc = self._host[seq_id]
+        if kv_checksum(k, v) != crc:
+            raise KVCorruptionError(
+                f"swap blob of sequence {seq_id} failed its checksum "
+                f"(stamped {crc:#010x}); falling back to recompute is the "
+                "only safe resume")
+
     def swap_in(self, seq_id: int) -> int:
         """Bring a swapped-out sequence back onto device blocks.
 
         Raises ``MemoryError`` (leaving the host copy intact) if the free
-        pool cannot hold the sequence; returns the number of tokens moved.
+        pool cannot hold the sequence, and
+        :class:`~repro.errors.KVCorruptionError` if the blob fails its
+        swap-out checksum; returns the number of tokens moved.
         """
         needed = self.swap_in_blocks_needed(seq_id)
         if needed > self.allocator.free_blocks:
@@ -183,11 +213,35 @@ class PagedKVCache:
                 f"swap-in of sequence {seq_id} needs {needed} blocks, "
                 f"only {self.allocator.free_blocks} free"
             )
-        k, v = self._host.pop(seq_id)
+        self.verify_host(seq_id)
+        k, v, _ = self._host.pop(seq_id)
         self.add_sequence(seq_id)
         for t in range(k.shape[0]):
             self.append(seq_id, k[t], v[t])
         return k.shape[0]
+
+    def drop_host(self, seq_id: int) -> int:
+        """Discard a parked blob without restoring it (corruption fallback
+        or replica teardown); returns the tokens discarded."""
+        if seq_id not in self._host:
+            raise KeyError(f"sequence {seq_id} is not swapped out")
+        k, _, _ = self._host.pop(seq_id)
+        return k.shape[0]
+
+    def corrupt_host(self, seq_id: int, rng: np.random.Generator) -> None:
+        """Flip one parked value in ``seq_id``'s host blob (fault injection).
+
+        The stamped checksum is left untouched, so the next
+        :meth:`swap_in`/:meth:`verify_host` detects the damage."""
+        if seq_id not in self._host:
+            raise KeyError(f"sequence {seq_id} is not swapped out")
+        k, v, crc = self._host[seq_id]
+        target = k if (k.size and rng.integers(2) == 0) or not v.size else v
+        if not target.size:
+            raise ValueError(f"sequence {seq_id} has an empty blob to corrupt")
+        flat = target.reshape(-1)
+        flat[int(rng.integers(flat.size))] += 1.0 + rng.random()
+        self._host[seq_id] = (k, v, crc)
 
     def is_swapped(self, seq_id: int) -> bool:
         """Whether ``seq_id`` currently lives in the host pool."""
@@ -195,7 +249,7 @@ class PagedKVCache:
 
     def host_tokens(self) -> int:
         """Tokens currently parked in the modelled host pool."""
-        return sum(k.shape[0] for k, _ in self._host.values())
+        return sum(k.shape[0] for k, _, _ in self._host.values())
 
     # -- accounting ---------------------------------------------------------------
     def blocks_in_use(self) -> int:

@@ -34,6 +34,21 @@ aggregated SLO attainment and **goodput** — tokens that met their SLO per
 modelled second, the metric EDF scheduling and exit-aware routing are built
 to move.  Routing never changes tokens: each request's decode is
 token-identical to serving the same trace on a single replica.
+
+A :class:`~repro.serving.faults.FaultPlan` makes the fleet fail on schedule.
+The router resolves the plan through a seeded
+:class:`~repro.serving.faults.FaultInjector` and applies crash / restart /
+drain transitions as discrete events in the same loop that routes arrivals;
+per-replica :class:`~repro.serving.faults.ReplicaHealth` tracks liveness
+(consecutive crashes past ``permanent_after`` mark a replica permanently
+dead) and every routing policy only ever sees healthy candidates.  When a
+replica crashes, its in-flight work is **failed over**: salvaged sequences
+re-enter routing after a capped-exponential backoff, are adopted by a
+healthy replica, and resume through the deterministic recompute path — so a
+recovered request's tokens are identical to an uninterrupted run while its
+SLO clock keeps running from the original arrival.  ``failover=False`` is
+the ablation: crashed work is simply lost, which is what the
+fault-recovery benchmark gates goodput against.
 """
 
 from __future__ import annotations
@@ -46,9 +61,11 @@ import numpy as np
 
 from repro.serving.async_engine import (
     AsyncRequestMetrics,
+    AsyncSequence,
     AsyncServingEngine,
     AsyncServingReport,
 )
+from repro.serving.faults import FaultInjector, FaultPlan, ReplicaHealth
 from repro.serving.request import Request
 from repro.serving.workloads import ClosedLoopClients
 
@@ -171,6 +188,32 @@ class ServingFleetReport:
     rejected_with_slo: int = 0
     replica_layers_per_token: List[float] = field(default_factory=list)
     replica_threshold_offsets: List[float] = field(default_factory=list)
+    # -- fault/recovery accounting (defaults describe a fault-free run) --
+    #: Compact name of the injected fault plan ("none" when empty).
+    faults: str = "none"
+    #: Seed the injector resolved "any"-replica picks and corruptions with.
+    fault_seed: int = 0
+    #: Whether crashed in-flight work was failed over (False = ablation).
+    failover: bool = True
+    crashes: int = 0
+    restarts: int = 0
+    drains: int = 0
+    #: Failover re-queues (every salvaged request counts one per crash).
+    retries: int = 0
+    #: Failed-over requests that went on to finish on a healthy replica.
+    requests_recovered: int = 0
+    #: Requests abandoned to a crash (failover off, retries exhausted, or no
+    #: healthy replica left).
+    requests_lost: int = 0
+    #: Decoded tokens carried through failover for adoption (their KV is
+    #: rebuilt on the adopting replica; the tokens are never re-decoded).
+    tokens_salvaged: int = 0
+    #: Decoded tokens thrown away with lost requests.
+    tokens_lost: int = 0
+    #: Admitted sequences on crashing replicas, summed over crash events.
+    in_flight_at_crash: int = 0
+    #: Final liveness state of each replica ("alive"/"draining"/"dead").
+    replica_health: List[str] = field(default_factory=list)
 
     @property
     def n_replicas(self) -> int:
@@ -268,6 +311,35 @@ class ServingFleetReport:
         """Total preemptions across every replica."""
         return sum(r.preemptions for r in self.replica_reports)
 
+    @property
+    def recovered_fraction(self) -> float:
+        """Fraction of crash-interrupted requests that still completed:
+        recovered over (recovered + lost); NaN when nothing crashed."""
+        at_risk = self.requests_recovered + self.requests_lost
+        if at_risk == 0:
+            return float("nan")
+        return self.requests_recovered / at_risk
+
+    @property
+    def kv_corruptions(self) -> int:
+        """Swap blobs that failed their checksum, fleet-wide."""
+        return sum(r.kv_corruptions for r in self.replica_reports)
+
+    @property
+    def degraded_ticks(self) -> int:
+        """Ticks any replica decoded with the speculation kill-switch on."""
+        return sum(r.degraded_ticks for r in self.replica_reports)
+
+    @property
+    def degraded_events(self) -> int:
+        """Times any replica's kill-switch tripped."""
+        return sum(r.degraded_events for r in self.replica_reports)
+
+    @property
+    def watchdog_timeouts(self) -> int:
+        """Sequences failed by the no-progress watchdog, fleet-wide."""
+        return sum(r.watchdog_timeouts for r in self.replica_reports)
+
 
 # ---------------------------------------------------------------------------
 # the router
@@ -279,12 +351,50 @@ class ServingRouter:
     """Data-parallel front-end over N async serving replicas (module doc)."""
 
     def __init__(self, replicas: Sequence[AsyncServingEngine],
-                 route: Union[str, RoutingPolicy] = "round_robin"):
-        """Wire the router to its replicas and routing policy."""
+                 route: Union[str, RoutingPolicy] = "round_robin",
+                 *,
+                 faults: Union[None, str, FaultPlan] = None,
+                 fault_seed: int = 0,
+                 failover: bool = True,
+                 max_retries: int = 3,
+                 retry_backoff_s: float = 0.05,
+                 retry_backoff_cap_s: float = 0.4,
+                 permanent_after: int = 2):
+        """Wire the router to its replicas, routing policy and fault plan.
+
+        ``faults`` is a :class:`~repro.serving.faults.FaultPlan`, a spec
+        string / preset name for :meth:`FaultPlan.parse`, or None for a
+        fault-free run (token-identical to a router without this machinery).
+        ``fault_seed`` resolves the plan's ``replica="any"`` picks and seeds
+        corruption RNG streams.  ``failover`` re-queues a crashed replica's
+        in-flight work onto healthy replicas (False = lose it, the ablation);
+        each re-queue waits ``min(retry_backoff_s * 2**retries,
+        retry_backoff_cap_s)`` on the modelled clock and a request is lost
+        after ``max_retries`` crash-triggered re-queues.  A replica whose
+        consecutive-crash streak reaches ``permanent_after`` is marked
+        permanently dead and its scheduled restarts are ignored."""
         if not replicas:
             raise ValueError("a fleet needs at least one replica")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff_s <= 0 or retry_backoff_cap_s <= 0:
+            raise ValueError("retry backoff parameters must be positive")
         self.replicas: List[AsyncServingEngine] = list(replicas)
         self.routing = make_routing_policy(route)
+        self.faults = faults
+        self.fault_seed = fault_seed
+        self.failover = failover
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
+        self.permanent_after = permanent_after
+        self.health: List[ReplicaHealth] = [
+            ReplicaHealth(permanent_after=permanent_after) for _ in replicas]
+        # (ready_s, request_id, request, salvaged slot or None), kept sorted;
+        # request ids are unique so comparisons never reach the payload.
+        self._failover: List[tuple] = []
+        self._retries: Dict[int, int] = {}
+        self._failover_ids: set = set()
 
     # -- event-loop helpers --------------------------------------------------
     @staticmethod
@@ -302,16 +412,21 @@ class ServingRouter:
         return float("inf")
 
     def _candidates(self, request: Request) -> List[int]:
-        """Replicas whose KV pool could ever hold the request."""
+        """Healthy replicas whose KV pool could ever hold the request —
+        dead and draining replicas are excluded from every routing policy."""
         return [i for i, replica in enumerate(self.replicas)
-                if replica.policy.oversize_reason(request) is None]
+                if self.health[i].routable
+                and replica.policy.oversize_reason(request) is None]
 
     def _route(self, request: Request, report: ServingFleetReport) -> None:
         candidates = self._candidates(request)
         if not candidates:
-            reason = self.replicas[0].policy.oversize_reason(request)
-            report.rejected[request.request_id] = (
-                f"no replica can hold it: {reason}")
+            if not any(h.routable for h in self.health):
+                reason = "no live replica to route to"
+            else:
+                reason = (f"no replica can hold it: "
+                          f"{self.replicas[0].policy.oversize_reason(request)}")
+            report.rejected[request.request_id] = reason
             if request.slo_s is not None:
                 report.rejected_with_slo += 1
             return
@@ -321,6 +436,96 @@ class ServingRouter:
                 f"routing policy {self.routing.name!r} chose replica {index}, "
                 f"not one of the candidates {candidates}")
         self.replicas[index].submit(request)
+        report.assignments[request.request_id] = index
+
+    # -- failure handling ------------------------------------------------------
+    def _lose(self, request: Request, slot: Optional[AsyncSequence],
+              report: ServingFleetReport, reason: str) -> None:
+        """Abandon crash-interrupted work: a typed rejection plus loss
+        accounting (any decoded tokens the salvaged slot held are gone)."""
+        report.rejected[request.request_id] = reason
+        if request.slo_s is not None:
+            report.rejected_with_slo += 1
+        report.requests_lost += 1
+        report.tokens_lost += len(slot.result.tokens) if slot is not None else 0
+        self._failover_ids.discard(request.request_id)
+
+    def _enqueue_failover(self, request: Request,
+                          slot: Optional[AsyncSequence], at_s: float,
+                          report: ServingFleetReport) -> None:
+        """Queue crash-salvaged work for redelivery after a capped
+        exponential backoff on the modelled clock; work that has exhausted
+        its retry budget is lost instead."""
+        retries = self._retries.get(request.request_id, 0) + 1
+        if retries > self.max_retries:
+            self._lose(request, slot, report,
+                       f"failover gave up after {self.max_retries} retries")
+            return
+        self._retries[request.request_id] = retries
+        backoff = min(self.retry_backoff_s * 2 ** (retries - 1),
+                      self.retry_backoff_cap_s)
+        bisect.insort(self._failover, (at_s + backoff, request.request_id,
+                                       request, slot))
+        self._failover_ids.add(request.request_id)
+        report.retries += 1
+        if slot is not None:
+            report.tokens_salvaged += len(slot.result.tokens)
+
+    def _apply_transition(self, injector: FaultInjector,
+                          report: ServingFleetReport) -> None:
+        """Apply the injector's next crash / revive / drain as one discrete
+        event: crashes salvage the replica's in-flight work into the
+        failover queue (or lose it under the no-failover ablation), revives
+        restart the replica unless it is permanently dead."""
+        at_s, kind, index = injector.pop_transition()
+        replica, health = self.replicas[index], self.health[index]
+        if kind == "drain":
+            health.drain()
+            report.drains += 1
+        elif kind == "revive":
+            if health.revive():
+                replica.restart(at_s)
+                report.restarts += 1
+        elif kind == "crash":
+            if not health.serving:
+                return  # crashing a dead replica is a no-op
+            health.record_crash()
+            salvage = replica.fail()
+            report.crashes += 1
+            report.in_flight_at_crash += salvage.in_flight
+            items = ([(s.request, s) for s in salvage.slots]
+                     + [(r, None) for r in salvage.requests])
+            for request, slot in items:
+                if self.failover:
+                    self._enqueue_failover(request, slot, at_s, report)
+                else:
+                    self._lose(request, slot, report,
+                               f"replica {index} crashed; failover disabled")
+
+    def _deliver_failover(self, injector: FaultInjector,
+                          report: ServingFleetReport) -> None:
+        """Re-route the next due failover item.  With no routable candidate
+        the item waits for the next scheduled revive if one can still help;
+        otherwise it is lost (never a hang)."""
+        ready_s, request_id, request, slot = self._failover.pop(0)
+        candidates = self._candidates(request)
+        if not candidates:
+            next_revive = injector.next_revive_s()
+            revivable = any(h.state == "dead" and not h.permanently_dead
+                            for h in self.health)
+            if revivable and next_revive < float("inf"):
+                bisect.insort(self._failover, (max(ready_s, next_revive),
+                                               request_id, request, slot))
+                return
+            self._lose(request, slot, report,
+                       "no healthy replica to fail over to")
+            return
+        index = self.routing.choose(self.replicas, request, candidates)
+        if index not in candidates:
+            raise ValueError(
+                f"routing policy {self.routing.name!r} chose replica {index}, "
+                f"not one of the candidates {candidates}")
+        self.replicas[index].submit(request, salvage=slot)
         report.assignments[request.request_id] = index
 
     # -- the run loop --------------------------------------------------------
@@ -341,19 +546,44 @@ class ServingRouter:
         else:
             queue = sorted(workload, key=self._arrival_key)
         self.routing.reset()
-        for replica in self.replicas:
+        injector = FaultInjector(self.faults, len(self.replicas),
+                                 seed=self.fault_seed)
+        self.health = [ReplicaHealth(permanent_after=self.permanent_after)
+                       for _ in self.replicas]
+        self._failover, self._retries, self._failover_ids = [], {}, set()
+        for index, replica in enumerate(self.replicas):
             replica.begin([])
+            if injector.plan:
+                replica.faults = injector.view(index)
         report = ServingFleetReport(
             route=self.routing.name,
             scheduling=self.replicas[0].scheduling.name,
             control=self.replicas[0].control_name,
+            faults=injector.plan.name,
+            fault_seed=self.fault_seed,
+            failover=self.failover,
         )
 
-        while queue or any(r.has_work for r in self.replicas):
+        while queue or self._failover or any(r.has_work for r in self.replicas):
             busy = [r for r in self.replicas if r.has_work]
             frontier = (min(self._next_event_s(r) for r in busy)
                         if busy else float("inf"))
-            if queue and queue[0].arrival_s <= frontier + 1e-12:
+            t_arrival = queue[0].arrival_s if queue else float("inf")
+            t_failover = self._failover[0][0] if self._failover else float("inf")
+            t_fault = injector.next_transition_s()
+            if (injector.transitions
+                    and t_fault <= frontier + 1e-12
+                    and t_fault <= t_arrival + 1e-12
+                    and t_fault <= t_failover + 1e-12):
+                # Faults interrupt: a crash at T lands before any same-time
+                # tick, arrival or redelivery sees the fleet.
+                self._apply_transition(injector, report)
+                continue
+            if (self._failover and t_failover <= frontier + 1e-12
+                    and t_failover <= t_arrival):
+                self._deliver_failover(injector, report)
+                continue
+            if queue and t_arrival <= frontier + 1e-12:
                 # No busy replica can still act before this arrival: route it
                 # now, with every replica's state current as of arrival time.
                 self._route(queue.pop(0), report)
@@ -361,6 +591,12 @@ class ServingRouter:
             replica = min(busy, key=lambda r: (self._next_event_s(r),
                                                self.replicas.index(r)))
             finished = replica.advance_tick()
+            if finished:
+                self.health[self.replicas.index(replica)].record_completion()
+                for metric in finished:
+                    if metric.request_id in self._failover_ids:
+                        report.requests_recovered += 1
+                        self._failover_ids.discard(metric.request_id)
             if clients is not None:
                 for metric in finished:
                     nxt = clients.next_request(metric.request_id,
@@ -373,4 +609,5 @@ class ServingRouter:
             r.observed_layers_per_token() for r in self.replicas]
         report.replica_threshold_offsets = [
             r.report.mean_threshold_offset for r in self.replicas]
+        report.replica_health = [h.state for h in self.health]
         return report

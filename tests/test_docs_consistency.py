@@ -123,6 +123,18 @@ class TestCliFlagDocs:
         assert control_flags <= documented, (
             f"control flags undocumented: {sorted(control_flags - documented)}")
 
+    def test_fault_flags_exist_and_are_documented(self):
+        """The fault-injection flags must exist on the serve command AND
+        appear in the docs — both directions, so a rename of either side
+        fails loudly."""
+        fault_flags = {"--faults", "--fault-seed", "--no-failover"}
+        serve_flags = _option_strings(_cli_subparsers()["serve"])
+        assert fault_flags <= serve_flags, (
+            f"serve lost fault flags: {sorted(fault_flags - serve_flags)}")
+        documented = self.documented_flags()
+        assert fault_flags <= documented, (
+            f"fault flags undocumented: {sorted(fault_flags - documented)}")
+
     def test_train_exits_flags_exist_and_are_documented(self):
         """The train-exits flags must exist on the CLI AND appear in the
         docs — both directions, so a rename of either side fails loudly."""

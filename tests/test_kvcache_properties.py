@@ -12,9 +12,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import KVCorruptionError
 from repro.model.transformer_backend import TransformerLayeredLM
 from repro.nn.attention import KVCache
 from repro.nn.transformer import TinyTransformerLM, TransformerConfig
+from repro.serving.paged_kv import PagedKVCache, kv_checksum
 
 INITIAL = 8
 MAX_TOKENS = 64
@@ -80,6 +82,83 @@ class TestKVCacheProperties:
         cache.append(0, np.zeros((2, 8, 4)), np.zeros((2, 8, 4)))
         with pytest.raises(ValueError):
             cache.append(0, np.zeros((2, 1, 4)), np.zeros((2, 1, 4)))
+
+
+def _paged_with_swapped_seq(rng: np.random.Generator, tokens: int) -> PagedKVCache:
+    """A paged cache whose sequence 0 is parked host-side with ``tokens``."""
+    cache = PagedKVCache(n_blocks=32, block_size=4, n_kv_heads=2, head_dim=4)
+    cache.add_sequence(0)
+    for _ in range(tokens):
+        cache.append(0, rng.normal(size=(2, 4)), rng.normal(size=(2, 4)))
+    cache.swap_out(0)
+    return cache
+
+
+class TestSwapChecksums:
+    """Satellite: every swap blob carries a CRC; swap_in proves integrity."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(tokens=st.integers(1, MAX_TOKENS), seed=st.integers(0, 2**31 - 1))
+    def test_paged_corruption_always_detected(self, tokens, seed):
+        """Any single flipped value in a parked blob fails verify/swap_in
+        with the typed error, and the blob stays in place for drop_host."""
+        rng = np.random.default_rng(seed)
+        cache = _paged_with_swapped_seq(rng, tokens)
+        cache.verify_host(0)  # intact blob verifies clean
+        cache.corrupt_host(0, rng)
+        with pytest.raises(KVCorruptionError):
+            cache.verify_host(0)
+        with pytest.raises(KVCorruptionError):
+            cache.swap_in(0)
+        assert cache.is_swapped(0)  # detection must not consume the blob
+        assert cache.drop_host(0) == tokens
+        assert not cache.is_swapped(0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tokens=st.integers(1, MAX_TOKENS), seed=st.integers(0, 2**31 - 1))
+    def test_paged_intact_blob_round_trips(self, tokens, seed):
+        """Checksumming never perturbs an honest swap round trip."""
+        rng = np.random.default_rng(seed)
+        cache = PagedKVCache(n_blocks=32, block_size=4, n_kv_heads=2, head_dim=4)
+        cache.add_sequence(0)
+        appended = []
+        for _ in range(tokens):
+            k, v = rng.normal(size=(2, 4)), rng.normal(size=(2, 4))
+            cache.append(0, k, v)
+            appended.append((k, v))
+        cache.swap_out(0)
+        assert cache.swap_in(0) == tokens
+        k2, v2 = cache.gather(0)
+        assert np.array_equal(k2, np.stack([k for k, _ in appended]))
+        assert np.array_equal(v2, np.stack([v for _, v in appended]))
+
+    def test_kv_checksum_is_content_addressed(self):
+        k = np.arange(8.0).reshape(2, 4)
+        v = np.ones((2, 4))
+        assert kv_checksum(k, v) == kv_checksum(k.copy(), v.copy())
+        tampered = k.copy()
+        tampered[0, 0] += 1e-9
+        assert kv_checksum(tampered, v) != kv_checksum(k, v)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(1, MAX_TOKENS), min_size=1, max_size=3),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_backend_blob_tamper_detected(self, lengths, seed):
+        """The real-tensor KVCache blob is covered too: tampering any of k,
+        v or lengths after swap_out makes swap_in refuse to restore."""
+        rng = np.random.default_rng(seed)
+        cache = KVCache(len(lengths), n_kv_heads=2, head_dim=4,
+                        max_tokens=MAX_TOKENS, initial_tokens=INITIAL)
+        _fill(cache, rng, lengths)
+        blob = cache.swap_out()
+        field = ("k", "v", "lengths")[int(rng.integers(3))]
+        flat = blob[field].reshape(-1)
+        index = int(rng.integers(flat.size))
+        flat[index] += 1
+        with pytest.raises(KVCorruptionError):
+            cache.swap_in(blob)
 
 
 REPLAY_CFG = TransformerConfig(vocab_size=32, dim=16, n_layers=3, n_heads=2,
