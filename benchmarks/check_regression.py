@@ -80,6 +80,11 @@ GATES = {
         Modelled("gates.failover_goodput_ratio"),
         Modelled("gates.failover_horizon_goodput"),
     ],
+    "BENCH_prefix_sharing.json": [
+        Modelled("gates.prefix_hit_rate"),
+        Modelled("gates.ttft_improvement"),
+        Modelled("gates.throughput_ratio"),
+    ],
 }
 
 

@@ -90,8 +90,23 @@ def build_parser() -> argparse.ArgumentParser:
             "             async paths as --sched.  'static' is token-identical\n"
             "             to the pre-controller engine; 'pressure' and\n"
             "             'bandit' trade exit depth against load.\n"
+            "  --faults   injects replica failures (crash/restart/drain,\n"
+            "             slowdowns, predictor anomalies, KV corruption); a\n"
+            "             non-'none' plan forces the fleet path even at\n"
+            "             --replicas 1, is resolved before any routing\n"
+            "             happens, and --route only ever sees replicas the\n"
+            "             plan left healthy.  --fault-seed resolves\n"
+            "             replica=any picks; --no-failover is the ablation\n"
+            "             that loses crashed work.\n"
+            "  --prefix-share  pages prompts through the copy-on-write radix\n"
+            "             tree inside each replica's paged KV, orthogonal to\n"
+            "             all four: admission adopts shared prefixes before\n"
+            "             --sched orders service, on every serving path\n"
+            "             (closed batch, --trace, fleets).  Tokens are\n"
+            "             identical with it on or off.\n"
             "  A closed batch (--trace off, --replicas 1, --clients open) uses\n"
-            "  none of the three.  --control-seed seeds the bandit only.\n"
+            "  none of --sched/--route/--control/--faults.  --control-seed\n"
+            "  seeds the bandit only.\n"
         ))
     serve.add_argument("--backend", default="synthetic",
                        choices=["synthetic", "transformer"],
@@ -111,10 +126,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--out", default=None, help="write the report to a file")
     # Async trace-driven serving (ignored when --trace off).
-    serve.add_argument("--trace", default="off", choices=["off", "poisson", "bursty"],
+    serve.add_argument("--trace", default="off",
+                       choices=["off", "poisson", "bursty", "chat"],
                        help="drive an async arrival trace instead of a closed batch")
     serve.add_argument("--rate", type=float, default=10.0,
-                       help="poisson arrival rate, requests per modelled second")
+                       help="poisson arrival rate, requests per modelled second "
+                            "(chat: session-opening rate)")
+    # Multi-turn chat traffic and shared-prefix KV reuse.
+    serve.add_argument("--sessions", type=int, default=8,
+                       help="chat sessions in a --trace chat workload")
+    serve.add_argument("--tenants", type=int, default=2,
+                       help="tenants (shared system prompts) in a chat trace")
+    serve.add_argument("--turns", type=int, default=3,
+                       help="turns per chat session (each extends the last)")
+    serve.add_argument("--prefix-share", action="store_true",
+                       help="page prompts through the copy-on-write shared-"
+                            "prefix radix tree (adopted prefixes skip prefill)")
     serve.add_argument("--burst-size", type=int, default=4)
     serve.add_argument("--burst-gap", type=float, default=0.5,
                        help="seconds between bursts (bursty trace)")
@@ -327,15 +354,17 @@ def _trace_kwargs(args, rig, per_token_s: float) -> dict:
 
 def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
     """Data-parallel fleet serving: replica router, goodput accounting."""
-    from repro.serving import ClosedLoopClients, bursty_trace, poisson_trace
+    from repro.serving import (
+        ClosedLoopClients, bursty_trace, chat_trace, poisson_trace,
+    )
 
     start = time.perf_counter()
     try:
         n_clients = _parse_clients(args.clients)
         if n_clients is None and args.trace == "off":
             raise ValueError(
-                "fleet serving needs a workload: pass --trace poisson|bursty "
-                "or --clients closed:M")
+                "fleet serving needs a workload: pass --trace "
+                "poisson|bursty|chat or --clients closed:M")
         if n_clients is not None and args.trace != "off":
             raise ValueError(
                 "--clients closed:M and --trace are both workloads; pass one "
@@ -361,6 +390,7 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
             admission=args.admission, preemption=args.preemption,
             chunk_prefill_tokens=args.chunk_prefill or None,
             control=args.control, control_seed=args.control_seed,
+            prefix_share=args.prefix_share,
         )
         kwargs = _trace_kwargs(
             args, rig, fleet.replicas[0].latency.full_depth_token_time())
@@ -371,6 +401,10 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
                 n_clients, rounds, think_time_s=args.think_time, **kwargs)
         elif args.trace == "poisson":
             workload = poisson_trace(args.requests, args.rate, **kwargs)
+        elif args.trace == "chat":
+            workload = chat_trace(args.sessions, tenants=args.tenants,
+                                  turns=args.turns, rate_per_s=args.rate,
+                                  **kwargs)
         else:
             workload = bursty_trace(args.requests, args.burst_size,
                                     args.burst_gap, **kwargs)
@@ -398,6 +432,13 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
         ["mean threshold offset per replica",
          "/".join(f"{o:+.2f}" for o in report.replica_threshold_offsets)],
     ]
+    if args.prefix_share:
+        rows.extend([
+            ["prefix hit rate (fleet)", f"{report.prefix_hit_rate:.0%}"],
+            ["prompt tokens adopted",
+             f"{report.prefix_matched_tokens} / {report.prefix_prompt_tokens}"],
+            ["mean TTFT (s)", f"{report.mean_ttft_s:.3f}"],
+        ])
     if report.faults != "none":
         frac = report.recovered_fraction
         rows += [
@@ -434,7 +475,7 @@ def _cmd_serve_fleet(args, rig, out: IO[str]) -> int:
 
 def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
     """Async trace-driven serving: arrivals, SLOs, preemption, chunking."""
-    from repro.serving import bursty_trace, poisson_trace
+    from repro.serving import bursty_trace, chat_trace, poisson_trace
 
     start = time.perf_counter()
     try:
@@ -447,12 +488,17 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
             scheduling=args.sched,
             cluster=_cluster_from_args(args),
             control=args.control, control_seed=args.control_seed,
+            prefix_share=args.prefix_share,
         )
         # Deadlines scale from the same latency model that prices the run.
         trace_kwargs = _trace_kwargs(
             args, rig, serving.latency.full_depth_token_time())
         if args.trace == "poisson":
             trace = poisson_trace(args.requests, args.rate, **trace_kwargs)
+        elif args.trace == "chat":
+            trace = chat_trace(args.sessions, tenants=args.tenants,
+                               turns=args.turns, rate_per_s=args.rate,
+                               **trace_kwargs)
         else:
             trace = bursty_trace(args.requests, args.burst_size, args.burst_gap,
                                  **trace_kwargs)
@@ -481,6 +527,15 @@ def _cmd_serve_trace(args, rig, out: IO[str]) -> int:
         ["control policy", report.control],
         ["mean threshold offset", f"{report.mean_threshold_offset:+.2f}"],
     ]
+    if args.prefix_share:
+        rows.extend([
+            ["prefix hit rate", f"{report.prefix_hit_rate:.0%}"],
+            ["prompt tokens adopted",
+             f"{report.prefix_matched_tokens} / {report.prefix_prompt_tokens}"],
+            ["copy-on-write clones", report.cow_copies],
+            ["mean TTFT (s)", f"{report.mean_ttft_s:.3f}"],
+            ["p95 TTFT (s)", f"{report.p95_ttft_s():.3f}"],
+        ])
     if args.backend == "transformer":
         # Real backend: measured wall-clock numbers next to the modelled ones.
         rows.extend([
@@ -531,6 +586,7 @@ def _cmd_serve(args, out: IO[str]) -> int:
             scheduler_kind=args.scheduler, batch_capacity=args.batch_capacity,
             kv_blocks=args.kv_blocks, block_size=args.block_size,
             cluster=_cluster_from_args(args),
+            prefix_share=args.prefix_share,
         )
         prompts = generate_prompts(args.requests, rig.model.vocab_size, seed=args.seed + 7)
         requests = [Request(i, prompt, args.max_new_tokens)
@@ -554,6 +610,12 @@ def _cmd_serve(args, out: IO[str]) -> int:
         ["serving tokens/s", f"{priced['serving_tps']:.1f}"],
         ["throughput speedup", f"{priced['speedup']:.2f}x"],
     ]
+    if args.prefix_share:
+        rows.extend([
+            ["prefix hit rate", f"{report.prefix_hit_rate:.3f}"],
+            ["prompt tokens adopted", report.prefix_matched_tokens],
+            ["copy-on-write clones", report.cow_copies],
+        ])
     if args.backend == "transformer":
         # Real backend: measured wall-clock numbers next to the modelled ones.
         rows.extend([

@@ -19,7 +19,7 @@ guarantee.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 
@@ -51,15 +51,17 @@ class ShardedPagedKV:
 
     def __init__(
         self, n_stages: int, n_blocks: int, block_size: int,
-        n_kv_heads: int, head_dim: int,
+        n_kv_heads: int, head_dim: int, prefix_share: bool = False,
     ):
         """Create ``n_stages`` pools of ``n_blocks`` blocks each."""
         if n_stages < 1:
             raise ValueError("n_stages must be >= 1")
         self.n_stages = n_stages
+        self.prefix_share = bool(prefix_share)
         self.stages: List[PagedKVCache] = [
             PagedKVCache(n_blocks=n_blocks, block_size=block_size,
-                         n_kv_heads=n_kv_heads, head_dim=head_dim)
+                         n_kv_heads=n_kv_heads, head_dim=head_dim,
+                         prefix_share=prefix_share)
             for _ in range(n_stages)
         ]
         self.block_size = block_size
@@ -95,6 +97,62 @@ class ShardedPagedKV:
     def gather(self, seq_id: int) -> Tuple[np.ndarray, np.ndarray]:
         """Stage-0 contiguous view (every stage's share is bit-identical)."""
         return self.stages[0].gather(seq_id)
+
+    def append_needs_block(self, seq_id: int) -> bool:
+        """Whether the next append allocates (identical on every stage)."""
+        return self.stages[0].append_needs_block(seq_id)
+
+    # -- prefix sharing ---------------------------------------------------------
+    def prefill_prompt(self, seq_id: int, prompt: Iterable[int]) -> int:
+        """Prefill ``prompt`` on every stage, adopting shared prefix blocks.
+
+        The per-stage radix trees see identical prompt traffic, so every
+        stage matches the same prefix; a divergence would mean the stages
+        fell out of lockstep and is asserted fatal.
+        """
+        prompt = [int(t) for t in prompt]
+        counts = {stage.prefill_prompt(seq_id, prompt) for stage in self.stages}
+        if len(counts) != 1:
+            raise AssertionError(
+                f"stages diverged on prefill_prompt({seq_id}): {counts}")
+        return counts.pop()
+
+    def reset_prefix_cache(self) -> int:
+        """Drop every stage's radix tree; returns stage-0 blocks released."""
+        counts = [stage.reset_prefix_cache() for stage in self.stages]
+        return counts[0]
+
+    def evict_prefix_leaves(self, n_blocks: int) -> int:
+        """Evict up to ``n_blocks`` cold tree leaves on every stage.
+
+        The per-stage trees see identical traffic, so the same LRU leaf is
+        chosen on each; a divergence breaks lockstep and is asserted fatal.
+        Returns the per-stage blocks freed.
+        """
+        counts = {stage.evict_prefix_leaves(n_blocks) for stage in self.stages}
+        if len(counts) != 1:
+            raise AssertionError(
+                f"stages diverged on evict_prefix_leaves: {counts}")
+        return counts.pop()
+
+    def prefix_hit_rate(self) -> float:
+        """Shared-prefix token hit rate (identical on every stage)."""
+        return self.stages[0].prefix_hit_rate()
+
+    @property
+    def prefix_prompt_tokens(self) -> int:
+        """Prompt tokens prefilled through the prefix path (stage-0 view)."""
+        return self.stages[0].prefix_prompt_tokens
+
+    @property
+    def prefix_matched_tokens(self) -> int:
+        """Prompt tokens adopted from shared blocks (stage-0 view)."""
+        return self.stages[0].prefix_matched_tokens
+
+    @property
+    def cow_copies(self) -> int:
+        """Copy-on-write clones performed (stage-0 view; stages match)."""
+        return self.stages[0].cow_copies
 
     # -- preemption -----------------------------------------------------------
     def swap_out(self, seq_id: int) -> int:

@@ -162,6 +162,18 @@ class LatencyModel:
             "recompute": self.model.n_layers * self.prefill_layer_time(max(context_tokens, 1.0)),
         }
 
+    def prefix_reuse_time(self, tokens: float) -> float:
+        """Adopting ``tokens`` of already-resident shared-prefix KV.
+
+        Reuse is metadata work — a radix-tree walk plus refcount bumps on
+        the matched blocks — so it prices as one kernel-overhead dispatch
+        plus a tiny host-side per-block term.  The point of the event is
+        the prefill work it *replaces*: a matched token skips its
+        :meth:`prefill_layer_time` share entirely.
+        """
+        blocks = tokens / 16.0  # host bookkeeping scales with blocks touched
+        return self.device.kernel_overhead_us * 1e-6 + blocks * 1e-6
+
     def kv_fill_time(self, layers: float) -> float:
         """KV propagation for skipped layers: 2 projections per layer."""
         fw, dev = self.framework, self.device
@@ -238,6 +250,8 @@ class LatencyModel:
             put(e.KV_FILL, self.kv_fill_time(units(e.KV_FILL)))
         if calls(e.KV_SWAP):
             put(e.KV_SWAP, self.kv_swap_time(units(e.KV_SWAP)))
+        if calls(e.PREFIX_REUSE):
+            put(e.PREFIX_REUSE, self.prefix_reuse_time(units(e.PREFIX_REUSE)))
         if calls(e.TREE_FEATURE_GEMM):
             avg_tokens = units(e.TREE_FEATURE_GEMM) / calls(e.TREE_FEATURE_GEMM)
             put(e.TREE_FEATURE_GEMM,

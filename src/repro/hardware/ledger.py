@@ -34,13 +34,14 @@ class Event:
     RETRIEVAL = "retrieval_lookup"           # RAEE database kNN
     KV_FILL = "kv_fill"                      # early-exit KV propagation (units = layers)
     KV_SWAP = "kv_swap"                      # paged-KV host transfer (units = tokens)
+    PREFIX_REUSE = "prefix_reuse"            # shared-prefix adoption (units = tokens)
     ALLREDUCE = "allreduce"                  # TP collective (units = activation tokens)
     PIPELINE_BUBBLE = "pipeline_bubble"      # PP idle stage slots (units = slot tokens)
     ALL = (
         PREFILL_LAYER, DECODER_LAYER, BATCH_DECODER_LAYER, LM_HEAD_FULL,
         LM_HEAD_SLICE, PREDICTOR, SVM_PREDICT, FEATURE_STATS, DRAFT_STEP,
         TREE_VERIFY_LAYER, TREE_FEATURE_GEMM, RETRIEVAL, KV_FILL, KV_SWAP,
-        ALLREDUCE, PIPELINE_BUBBLE,
+        PREFIX_REUSE, ALLREDUCE, PIPELINE_BUBBLE,
     )
     # Events only a multi-device cluster can emit or price; the single-device
     # LatencyModel refuses them so they are never silently dropped.

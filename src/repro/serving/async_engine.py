@@ -122,6 +122,8 @@ class AsyncSequence:
     recomputes: int = 0
     swapped_tokens: int = 0
     finished_step: int = -1
+    #: Modelled clock when the first decoded token landed (None until then).
+    first_token_s: Optional[float] = None
 
     @property
     def request_id(self) -> int:
@@ -177,11 +179,20 @@ class AsyncRequestMetrics:
     swaps: int = 0
     recomputes: int = 0
     swapped_tokens: int = 0
+    #: Modelled clock when the first token landed (None if never stamped).
+    first_token_s: Optional[float] = None
 
     @property
     def latency_s(self) -> float:
         """End-to-end modelled latency from arrival to last token."""
         return self.finish_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Time to first token on the modelled clock (None if unstamped)."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
 
     @property
     def met_slo(self) -> Optional[bool]:
@@ -232,6 +243,17 @@ class AsyncServingReport:
     slowed_ticks: int = 0
     #: Times this replica crashed (``AsyncServingEngine.fail``).
     crashes: int = 0
+    # -- prefix-sharing accounting (all zero with sharing off) --
+    #: Whether this run paged prompts through the shared radix tree.
+    prefix_share: bool = False
+    #: Prompt tokens prefilled through the prefix path.
+    prefix_prompt_tokens: int = 0
+    #: Prompt tokens adopted from shared blocks instead of recomputed.
+    prefix_matched_tokens: int = 0
+    #: Copy-on-write block clones performed by divergent writes.
+    cow_copies: int = 0
+    #: Shared-prefix token hit rate (NaN when no prompt was prefix-paged).
+    prefix_hit_rate: float = float("nan")
 
     @property
     def total_tokens(self) -> int:
@@ -321,6 +343,21 @@ class AsyncServingReport:
             return float("nan")
         return float(np.percentile([m.latency_s for m in self.metrics.values()], 95))
 
+    @property
+    def mean_ttft_s(self) -> float:
+        """Mean time to first token across requests that produced one."""
+        ttfts = [m.ttft_s for m in self.metrics.values() if m.ttft_s is not None]
+        if not ttfts:
+            return float("nan")
+        return float(np.mean(ttfts))
+
+    def p95_ttft_s(self) -> float:
+        """95th-percentile time to first token on the modelled clock."""
+        ttfts = [m.ttft_s for m in self.metrics.values() if m.ttft_s is not None]
+        if not ttfts:
+            return float("nan")
+        return float(np.percentile(ttfts, 95))
+
 
 class AsyncServingEngine:
     """Event-driven serving over one :class:`SpecEEEngine` (module docstring)."""
@@ -350,6 +387,7 @@ class AsyncServingEngine:
         watchdog_ticks: Optional[int] = None,
         degrade_window: int = 8,
         anomaly_detect_ticks: int = 2,
+        prefix_share: bool = False,
     ):
         """Build the async server.
 
@@ -381,6 +419,15 @@ class AsyncServingEngine:
         watchdog).  ``anomaly_detect_ticks`` consecutive anomalous ticks trip
         the speculation kill-switch into degraded dense decode, which re-arms
         after ``degrade_window`` clean ticks.
+
+        ``prefix_share`` pages prompts into the paged cache through a shared
+        radix tree: a fresh admission adopts the blocks of every previously
+        seen prompt prefix (refcounted, copy-on-write on first divergent
+        write) and only the unmatched suffix is prefilled — the ledger
+        charges ``PREFILL_LAYER`` for the suffix plus a small
+        ``PREFIX_REUSE`` adoption overhead.  Off (the default), prompts are
+        never paged and every code path is byte-identical to earlier
+        releases.
         """
         if admission not in ADMISSION_MODES:
             raise ValueError(f"admission must be one of {ADMISSION_MODES}")
@@ -405,10 +452,13 @@ class AsyncServingEngine:
             self.latency = LatencyModel(model_spec, device, framework,
                                         cpu_device=cpu_device)
         n_stages = self.cluster.pp if self.cluster is not None else 1
+        self.prefix_share = bool(prefix_share)
         self.cache = build_paged_cache(engine, kv_blocks, block_size, n_kv_heads,
-                                       n_stages=n_stages)
+                                       n_stages=n_stages,
+                                       prefix_share=self.prefix_share)
         self.policy = AdmissionPolicy(
             n_blocks=kv_blocks, block_size=block_size, batch_capacity=batch_capacity,
+            prefix_share=self.prefix_share,
         )
         self.scheduler_factory = scheduler_factory or default_scheduler_factory(engine)
         self.admission = admission
@@ -500,9 +550,17 @@ class AsyncServingEngine:
         while self.preempted:
             slot = self.preempted[0]
             tokens = len(slot.result.tokens)
-            blocks_now = -(-tokens // self.policy.block_size) if tokens else 0
+            need_tokens = tokens
+            if self.prefix_share:
+                # Prompts are paged too: the resume must cover the full
+                # context worst-case (a cold tree adopts nothing).
+                need_tokens += len(slot.request.prompt)
+            blocks_now = -(-need_tokens // self.policy.block_size) if need_tokens else 0
             # One extra block if the very next decode token opens a new block.
-            headroom = 1 if tokens % self.policy.block_size == 0 else 0
+            headroom = 1 if need_tokens % self.policy.block_size == 0 else 0
+            deficit = blocks_now + headroom - self.cache.allocator.free_blocks
+            if deficit > 0 and self.prefix_share:
+                self.cache.evict_prefix_leaves(deficit)  # cold cache first
             if self.cache.allocator.free_blocks < blocks_now + headroom:
                 break  # lower-priority slots must not jump the queue
             self.preempted.pop(0)
@@ -523,15 +581,26 @@ class AsyncServingEngine:
                     slot.swapped_tokens += moved
                     self.engine.model.swap_in_state(slot.state)
             if slot.resume_mode == "recompute":
-                # Rebuild paged KV from the recorded exit states.
-                self.cache.add_sequence(slot.request_id)
+                # Rebuild paged KV from the recorded exit states.  With
+                # prefix sharing the prompt re-walks the radix tree first:
+                # any prefix still resident is adopted instead of recomputed,
+                # so the PREFILL_LAYER recompute charge covers only the
+                # unmatched context.
+                matched = 0
+                if self.prefix_share:
+                    matched = self.cache.prefill_prompt(
+                        slot.request_id, slot.request.prompt)
+                    if matched:
+                        tick.add(Event.PREFIX_REUSE, calls=1, units=matched)
+                else:
+                    self.cache.add_sequence(slot.request_id)
                 for record in slot.result.records:
                     kv = record.hidden.reshape(self.cache.n_kv_heads, self.cache.head_dim)
                     self.cache.append(slot.request_id, kv, kv)
                 context = len(slot.request.prompt) + tokens
                 tick.add(Event.PREFILL_LAYER,
                          calls=self.engine.model.n_layers,
-                         units=self.engine.model.n_layers * context)
+                         units=self.engine.model.n_layers * (context - matched))
                 slot.recomputes += 1
                 self.engine.model.recompute_state(slot.state)
             slot.resume_mode = None
@@ -546,7 +615,8 @@ class AsyncServingEngine:
             return self.reserved_blocks + need <= self.policy.n_blocks
         return self.cache.allocator.free_blocks >= 1
 
-    def _admit(self, report: AsyncServingReport) -> List[AsyncSequence]:
+    def _admit(self, report: AsyncServingReport,
+               tick: CostLedger) -> List[AsyncSequence]:
         admitted: List[AsyncSequence] = []
         while self.waiting and self._admissible(self.waiting[0]):
             request = self.waiting.pop(0)
@@ -567,14 +637,29 @@ class AsyncServingEngine:
                 self.preempted.append(salvaged)
                 admitted.append(salvaged)
                 continue
+            matched = 0
+            if self.prefix_share:
+                try:
+                    matched = self.cache.prefill_prompt(
+                        request.request_id, request.prompt)
+                except MemoryError:
+                    # Optimistic admission over-committed: the pool cannot
+                    # page this prompt right now even after leaf eviction.
+                    # Put the request back at the head and stop admitting —
+                    # decode/retire ticks will free blocks.
+                    self.waiting.insert(0, request)
+                    break
+                if matched:
+                    tick.add(Event.PREFIX_REUSE, calls=1, units=matched)
             state, result = self.engine.prefill(request.prompt, script=request.script)
             scheduler = self.scheduler_factory()
             scheduler.reset()
-            self.cache.add_sequence(request.request_id)
+            if not self.prefix_share:
+                self.cache.add_sequence(request.request_id)
             slot = AsyncSequence(
                 request=request, state=state, result=result, scheduler=scheduler,
                 admitted_step=self.step_count,
-                prefill_remaining=len(request.prompt),
+                prefill_remaining=len(request.prompt) - matched,
                 last_progress_step=self.step_count,
             )
             if self.admission == "reserve":
@@ -640,12 +725,18 @@ class AsyncServingEngine:
         decode will allocate.  Raises with a clear message when eviction is
         disabled but required."""
         while True:
+            # append_needs_block folds in the copy-on-write case: a mid-block
+            # append to a shared block clones it into a fresh one.  With
+            # sharing off it reduces to the plain block-boundary check.
             need = sum(
                 1 for s in runnable
-                if self.cache.length(s.request_id) % self.cache.block_size == 0
+                if self.cache.append_needs_block(s.request_id)
             )
             if self.cache.allocator.free_blocks >= need:
                 return
+            if self.prefix_share and self.cache.evict_prefix_leaves(
+                    need - self.cache.allocator.free_blocks):
+                continue  # reclaimed cold cache; re-check before preempting
             if self.preemption == "never":
                 raise MemoryError(
                     f"KV pool exhausted at step {self.step_count}: decode needs "
@@ -713,6 +804,7 @@ class AsyncServingEngine:
             kv = record.hidden.reshape(self.cache.n_kv_heads, self.cache.head_dim)
             self.cache.append(slot.request_id, kv, kv)
             slot.last_progress_step = self.step_count
+            self.scheduling.on_progress(slot.request, 1)
         if depths:
             batches = [sum(1 for d in depths if d > l) for l in range(max(depths))]
             if sum(batches) != dropped_layers:
@@ -880,6 +972,7 @@ class AsyncServingEngine:
             self.engine, self.cache.allocator.n_blocks, self.cache.block_size,
             self.cache.n_kv_heads,
             n_stages=self.cluster.pp if self.cluster is not None else 1,
+            prefix_share=self.prefix_share,
         )
         return salvage
 
@@ -916,12 +1009,14 @@ class AsyncServingEngine:
         self._service_s = self._per_token_s
         if self.controller is not None:
             self.controller.begin()
+        self.scheduling.reset()
         # Fresh pool every run: a previous run that died mid-flight (e.g. the
         # preemption="never" MemoryError) must not leak blocks into this one.
         self.cache = build_paged_cache(
             self.engine, self.cache.allocator.n_blocks, self.cache.block_size,
             self.cache.n_kv_heads,
             n_stages=self.cluster.pp if self.cluster is not None else 1,
+            prefix_share=self.prefix_share,
         )
 
     def submit(self, request: Request,
@@ -967,7 +1062,7 @@ class AsyncServingEngine:
             return []  # every arrival in this window was rejected
         self._consume_corruption()  # damage blobs before this tick's resumes
         self._resume_preempted(tick)
-        admitted = self._admit(report)
+        admitted = self._admit(report, tick)
         self._prompt_tokens += sum(len(s.request.prompt) for s in admitted)
         suppressed = self._prefill(tick)
         depths: List[int] = []
@@ -998,6 +1093,11 @@ class AsyncServingEngine:
         self.now_s += dt
         report.tick_seconds.append(dt)
         report.serving_ledger.merge(tick)
+        # First-token stamps land after the tick is priced: a token decoded
+        # this tick became visible when the tick's work finished.
+        for slot in self.running + finished:
+            if slot.first_token_s is None and slot.result.tokens:
+                slot.first_token_s = self.now_s
         metrics: List[AsyncRequestMetrics] = []
         for slot in finished:
             metric = AsyncRequestMetrics(
@@ -1013,6 +1113,7 @@ class AsyncServingEngine:
                 swaps=slot.swaps,
                 recomputes=slot.recomputes,
                 swapped_tokens=slot.swapped_tokens,
+                first_token_s=slot.first_token_s,
             )
             report.metrics[slot.request_id] = metric
             metrics.append(metric)
@@ -1039,6 +1140,12 @@ class AsyncServingEngine:
         report.control = self.control_name
         if self.controller is not None:
             report.mean_threshold_offset = self.controller.mean_threshold_offset()
+        report.prefix_share = self.prefix_share
+        if self.prefix_share:
+            report.prefix_prompt_tokens = self.cache.prefix_prompt_tokens
+            report.prefix_matched_tokens = self.cache.prefix_matched_tokens
+            report.cow_copies = self.cache.cow_copies
+            report.prefix_hit_rate = self.cache.prefix_hit_rate()
         return report
 
     def run(self, trace: Sequence[Request]) -> AsyncServingReport:

@@ -50,12 +50,15 @@ __all__ = [
 def build_paged_cache(
     engine: SpecEEEngine, kv_blocks: int, block_size: int,
     n_kv_heads: Optional[int] = None, n_stages: int = 1,
+    prefix_share: bool = False,
 ) -> Union[PagedKVCache, "ShardedPagedKV"]:
     """Paged cache sized so one KV entry covers the engine's hidden state.
 
     With ``n_stages > 1`` the cache is a per-pipeline-stage
     :class:`~repro.distributed.ShardedPagedKV` of ``kv_blocks`` blocks *per
     stage device*; otherwise a single-pool :class:`PagedKVCache`.
+    ``prefix_share`` enables the copy-on-write shared-prefix radix tree
+    (prompts become paged and reusable across requests).
     """
     hidden = engine.model.hidden_dim
     if n_kv_heads is None:
@@ -68,10 +71,12 @@ def build_paged_cache(
         return ShardedPagedKV(
             n_stages=n_stages, n_blocks=kv_blocks, block_size=block_size,
             n_kv_heads=n_kv_heads, head_dim=hidden // n_kv_heads,
+            prefix_share=prefix_share,
         )
     return PagedKVCache(
         n_blocks=kv_blocks, block_size=block_size,
         n_kv_heads=n_kv_heads, head_dim=hidden // n_kv_heads,
+        prefix_share=prefix_share,
     )
 
 
@@ -125,6 +130,10 @@ class ServingReport:
     cluster: Optional[object] = None  # ClusterSpec when the run was sharded
     wall_time_s: float = 0.0  # measured host seconds spent inside run()
     batched_decode: bool = False  # whether the run used the batched fast path
+    prefix_share: bool = False  # whether prompts were paged through the radix tree
+    prefix_matched_tokens: int = 0  # prompt tokens adopted from shared blocks
+    prefix_hit_rate: float = float("nan")  # matched / prefix-prefilled prompt tokens
+    cow_copies: int = 0  # copy-on-write clones triggered by divergent writes
 
     @property
     def total_tokens(self) -> int:
@@ -226,6 +235,7 @@ class ServingEngine:
         scheduler_factory: Optional[Callable[[], Scheduler]] = None,
         cluster=None,
         batched: Optional[bool] = None,
+        prefix_share: bool = False,
     ):
         """Build the server; ``cluster`` (a ``ClusterSpec``) shards the run.
 
@@ -234,17 +244,24 @@ class ServingEngine:
         ``batched`` picks the decode inner loop (see
         :class:`ContinuousBatchScheduler`); the default ``None`` enables the
         batched fast path exactly for backends with real batched math.
+        ``prefix_share`` pages prompts through the copy-on-write radix tree:
+        admissions adopt previously seen prefixes and the serving ledger
+        charges only the unmatched prefill suffix (plus ``PREFIX_REUSE``
+        adoption overhead) — tokens are identical either way.
         """
         self.engine = engine
         self.batched = batched
+        self.prefix_share = bool(prefix_share)
         self.cluster = cluster if cluster is not None and not cluster.is_single else None
         if self.cluster is not None:
             self.cluster.stage_layers(engine.model.n_layers)  # pp <= n_layers
         n_stages = self.cluster.pp if self.cluster is not None else 1
         self.cache = build_paged_cache(engine, kv_blocks, block_size, n_kv_heads,
-                                       n_stages=n_stages)
+                                       n_stages=n_stages,
+                                       prefix_share=self.prefix_share)
         self.policy = AdmissionPolicy(
             n_blocks=kv_blocks, block_size=block_size, batch_capacity=batch_capacity,
+            prefix_share=self.prefix_share,
         )
         if scheduler_factory is None:
             scheduler_factory = default_scheduler_factory(engine)
@@ -289,7 +306,35 @@ class ServingEngine:
             report.serving_ledger = _rebatch_ledger(
                 report.sequential_ledger, report.tick_layer_batches, report.n_steps,
             )
+        if self.prefix_share:
+            report.prefix_share = True
+            report.prefix_matched_tokens = scheduler.prefix_matched_tokens
+            report.prefix_hit_rate = self.cache.prefix_hit_rate()
+            report.cow_copies = self.cache.cow_copies
+            self._credit_prefix_reuse(report.serving_ledger,
+                                      scheduler.prefix_hits,
+                                      scheduler.prefix_matched_tokens)
         return report
+
+    def _credit_prefix_reuse(self, ledger: CostLedger, hits: int,
+                             matched: int) -> None:
+        """Re-price the serving ledger for adopted prefixes.
+
+        Each request's own ledger charges its full prompt prefill (the
+        honest sequential comparison), but the *serving* side skipped the
+        matched tokens: their ``PREFILL_LAYER`` units are credited back and
+        a ``PREFIX_REUSE`` adoption charge is added instead.  Cluster runs
+        keep their prefill collectives uncredited — a conservative bound.
+        """
+        if matched <= 0:
+            return
+        n_layers = self.engine.model.n_layers
+        calls = ledger.calls(Event.PREFILL_LAYER)
+        units = ledger.units(Event.PREFILL_LAYER) - n_layers * matched
+        ledger.drop(Event.PREFILL_LAYER)
+        if calls:
+            ledger.add(Event.PREFILL_LAYER, calls=calls, units=max(units, 0.0))
+        ledger.add(Event.PREFIX_REUSE, calls=hits, units=matched)
 
 
 def _rebatch_ledger(

@@ -29,6 +29,13 @@ class Request:
     lowest-priority, latest-arrived running sequence is evicted first).
     ``client_id`` identifies the issuing closed-loop client, or None for
     open-loop trace arrivals.
+
+    Multi-turn chat traffic adds three optional identity fields:
+    ``session_id`` groups the turns of one conversation (follow-up turns
+    carry the same id and prompts that extend the prior context, which is
+    what prefix sharing and session-affinity routing key on), ``turn`` is
+    the zero-based position within that session, and ``tenant_id`` names
+    the paying tenant for per-tenant fairness in the scheduler.
     """
 
     request_id: int
@@ -39,6 +46,9 @@ class Request:
     slo_s: Optional[float] = None
     priority: int = 0
     client_id: Optional[int] = None
+    session_id: Optional[int] = None
+    turn: int = 0
+    tenant_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         """Normalise token lists and validate budgets/timestamps."""
@@ -53,6 +63,8 @@ class Request:
             raise ValueError("arrival_s must be >= 0")
         if self.slo_s is not None and self.slo_s <= 0:
             raise ValueError("slo_s must be positive when set")
+        if self.turn < 0:
+            raise ValueError("turn must be >= 0")
 
     @property
     def deadline_s(self) -> Optional[float]:
@@ -106,14 +118,18 @@ class AdmissionPolicy:
 
     ``blocks_needed`` is the ceiling of the request's decode-token budget over
     the block size (the paged cache stores one KV entry per *generated*
-    token; prompt prefill is priced by the ledger, not paged).  A request is
-    admissible iff the batch has a free slot and the pool's unreserved blocks
-    cover that worst case.
+    token; prompt prefill is priced by the ledger, not paged).  With
+    ``prefix_share`` enabled, prompts *are* paged so the worst case covers
+    prompt plus decode blocks — the worst case assumes no prefix hit, which
+    is what makes reserve admission safe even on a cold radix tree.  A
+    request is admissible iff the batch has a free slot and the pool's
+    unreserved blocks cover that worst case.
     """
 
     n_blocks: int
     block_size: int
     batch_capacity: int
+    prefix_share: bool = False
 
     def __post_init__(self) -> None:
         """Validate pool geometry and batch capacity."""
@@ -125,8 +141,12 @@ class AdmissionPolicy:
             raise ValueError("batch_capacity must be >= 1")
 
     def blocks_needed(self, request: Request) -> int:
-        """Worst-case paged-KV blocks ``request``'s decode can consume."""
-        return -(-request.max_new_tokens // self.block_size)
+        """Worst-case paged-KV blocks ``request`` can consume — decode only,
+        plus the full (hit-free) prompt when prefix sharing pages prompts."""
+        tokens = request.max_new_tokens
+        if self.prefix_share:
+            tokens += len(request.prompt)
+        return -(-tokens // self.block_size)
 
     def oversize_reason(self, request: Request) -> Optional[str]:
         """Why ``request`` could never fit even in an empty pool, or None.
@@ -136,8 +156,10 @@ class AdmissionPolicy:
         need = self.blocks_needed(request)
         if need <= self.n_blocks:
             return None
+        tokens = request.max_new_tokens + (
+            len(request.prompt) if self.prefix_share else 0)
         return (
-            f"needs {need} KV blocks ({request.max_new_tokens} tokens @ "
+            f"needs {need} KV blocks ({tokens} tokens @ "
             f"block_size={self.block_size}) but the pool only has {self.n_blocks}"
         )
 

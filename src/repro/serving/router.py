@@ -10,7 +10,7 @@ arrival the moment no busy replica could still do work before that arrival's
 timestamp.  Routing decisions therefore see every replica's state *as of the
 arrival time*, which is what makes load- and exit-aware policies meaningful.
 
-Three routing policies ship (registry :data:`ROUTING_POLICIES`):
+Four routing policies ship (registry :data:`ROUTING_POLICIES`):
 
 * ``round_robin`` — rotate assignments; the baseline that ignores state.
 * ``least_kv_load`` — send the request to the replica with the least paged-KV
@@ -21,6 +21,10 @@ Three routing policies ship (registry :data:`ROUTING_POLICIES`):
   estimated layer-work.  Exit-rate variance across requests is exactly why
   naive balancing leaves throughput on the table: a replica whose current
   mix exits early drains its backlog faster than its queue depth suggests.
+* ``session_affinity`` — pin each chat session's follow-up turns to the
+  replica that served its previous turn (whose radix tree still holds the
+  session's prefix blocks), falling back to least-KV-load placement for
+  first turns and whenever the home replica is crashed, drained or full.
 
 Workloads may be open-loop (an :class:`~repro.serving.workloads.ArrivalTrace`
 or any request sequence) or closed-loop
@@ -71,8 +75,8 @@ from repro.serving.workloads import ClosedLoopClients
 
 __all__ = [
     "RoutingPolicy", "RoundRobinRouting", "LeastKVLoadRouting",
-    "ExitAwareRouting", "ROUTING_POLICIES", "make_routing_policy",
-    "ServingFleetReport", "ServingRouter",
+    "ExitAwareRouting", "SessionAffinityRouting", "ROUTING_POLICIES",
+    "make_routing_policy", "ServingFleetReport", "ServingRouter",
 ]
 
 
@@ -155,10 +159,49 @@ class ExitAwareRouting(RoutingPolicy):
         return min(candidates, key=lambda i: (layer_work(i), i))
 
 
+class SessionAffinityRouting(RoutingPolicy):
+    """Pin each chat session to the replica holding its KV.
+
+    A follow-up turn's prompt extends the session's prior context, so the
+    replica that served the previous turn holds the session's prefix blocks
+    in its radix tree — routing the turn anywhere else forfeits the reuse.
+    The first turn of a session (and any request without a ``session_id``)
+    falls back to least-KV-load placement; the chosen replica becomes the
+    session's *home*.  When the home replica is not a candidate (crashed,
+    drained, or its pool cannot fit the request) the session re-homes via
+    the same fallback — a clean failover that costs one cold prefill, after
+    which affinity resumes on the new home.
+    """
+
+    name = "session_affinity"
+
+    def __init__(self):
+        """Start with no session pinned anywhere."""
+        self._home: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Forget every session-to-replica pin."""
+        self._home.clear()
+
+    def choose(self, replicas: Sequence[AsyncServingEngine], request: Request,
+               candidates: Sequence[int]) -> int:
+        """The session's home replica if still viable, else re-home by load."""
+        session = request.session_id
+        if session is not None:
+            home = self._home.get(session)
+            if home is not None and home in candidates:
+                return home
+        chosen = min(candidates, key=lambda i: (replicas[i].kv_load_blocks(), i))
+        if session is not None:
+            self._home[session] = chosen
+        return chosen
+
+
 ROUTING_POLICIES = {
     RoundRobinRouting.name: RoundRobinRouting,
     LeastKVLoadRouting.name: LeastKVLoadRouting,
     ExitAwareRouting.name: ExitAwareRouting,
+    SessionAffinityRouting.name: SessionAffinityRouting,
 }
 
 
@@ -259,6 +302,32 @@ class ServingFleetReport:
     def good_tokens(self) -> int:
         """SLO-meeting tokens fleet-wide (see the per-replica report)."""
         return sum(r.good_tokens for r in self.replica_reports)
+
+    @property
+    def prefix_prompt_tokens(self) -> int:
+        """Prompt tokens the fleet prefilled through the prefix path."""
+        return sum(r.prefix_prompt_tokens for r in self.replica_reports)
+
+    @property
+    def prefix_matched_tokens(self) -> int:
+        """Prompt tokens adopted from shared blocks fleet-wide."""
+        return sum(r.prefix_matched_tokens for r in self.replica_reports)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fleet-wide shared-prefix token hit rate (NaN with sharing off)."""
+        if self.prefix_prompt_tokens == 0:
+            return float("nan")
+        return self.prefix_matched_tokens / self.prefix_prompt_tokens
+
+    @property
+    def mean_ttft_s(self) -> float:
+        """Mean time to first token across every finished request."""
+        ttfts = [m.ttft_s for m in self.metrics.values()
+                 if m.ttft_s is not None]
+        if not ttfts:
+            return float("nan")
+        return float(np.mean(ttfts))
 
     @property
     def goodput_tps(self) -> float:

@@ -32,7 +32,7 @@ from repro.serving.request import AdmissionPolicy, Request, RequestQueue
 
 __all__ = [
     "SequenceSlot", "TickOutcome", "ContinuousBatchScheduler",
-    "SchedulingPolicy", "FifoPriorityPolicy", "EdfPolicy",
+    "SchedulingPolicy", "FifoPriorityPolicy", "EdfPolicy", "FairTenantPolicy",
     "SCHEDULING_POLICIES", "make_scheduling_policy",
 ]
 
@@ -111,6 +111,9 @@ class ContinuousBatchScheduler:
         self.running: List[SequenceSlot] = []
         self.reserved_blocks = 0
         self.step_count = 0
+        # Prefix-sharing accounting (stays zero with sharing off).
+        self.prefix_hits = 0
+        self.prefix_matched_tokens = 0
         n_kv = cache.n_kv_heads * cache.head_dim
         if n_kv != engine.model.hidden_dim:
             raise ValueError(
@@ -146,7 +149,16 @@ class ContinuousBatchScheduler:
             state, result = self.engine.prefill(request.prompt, script=request.script)
             scheduler = self.scheduler_factory()
             scheduler.reset()
-            self.cache.add_sequence(request.request_id)
+            if self.policy.prefix_share:
+                # Worst-case reservation covers the whole prompt, so the
+                # tree walk cannot run out of blocks (cold tree = no hit).
+                matched = self.cache.prefill_prompt(
+                    request.request_id, request.prompt)
+                if matched:
+                    self.prefix_hits += 1
+                    self.prefix_matched_tokens += matched
+            else:
+                self.cache.add_sequence(request.request_id)
             blocks = self.policy.blocks_needed(request)
             self.reserved_blocks += blocks
             self.running.append(SequenceSlot(
@@ -215,6 +227,9 @@ class SchedulingPolicy:
     """
 
     name = "base"
+    #: Dynamic policies re-rank as service accumulates (``on_progress``
+    #: feedback changes their keys mid-run); static policies never do.
+    dynamic = False
 
     def queue_key(self, request: Request, now_s: float = 0.0,
                   per_token_s: float = 0.0,
@@ -225,6 +240,16 @@ class SchedulingPolicy:
     def victim_key(self, seq, now_s: float, per_token_s: float) -> Tuple:
         """Ascending eviction rank of ``seq`` (smallest preempted first)."""
         raise NotImplementedError
+
+    def on_progress(self, request: Request, tokens: int) -> None:
+        """Feedback hook: ``tokens`` were just decoded for ``request``.
+
+        Static policies ignore it; dynamic ones (``fair_tenant``) fold the
+        served work into their ranking state."""
+
+    def reset(self) -> None:
+        """Clear accumulated ranking state at the start of a run (no-op for
+        stateless policies)."""
 
 
 class FifoPriorityPolicy(SchedulingPolicy):
@@ -308,9 +333,62 @@ class EdfPolicy(SchedulingPolicy):
         return (rank, urgency, -request.arrival_s, -request.request_id)
 
 
+class FairTenantPolicy(SchedulingPolicy):
+    """Per-tenant weighted fairness: the least-served tenant goes first.
+
+    Multi-tenant traffic lets one chatty tenant starve everyone else under
+    FIFO.  This policy tracks decoded tokens per tenant (``on_progress``)
+    and ranks waiting work by its tenant's served total — ascending, so the
+    tenant with the least service so far is admitted and resumed first;
+    within a tenant the order stays priority-then-arrival.  Eviction is the
+    mirror image: the *most*-served tenant's sequences are preempted first,
+    lowest priority and latest arrival breaking ties.  Requests without a
+    ``tenant_id`` pool into one anonymous tenant.
+
+    The served counters persist across :meth:`queue_key` calls and change
+    every decode tick, so the policy is marked ``dynamic`` — the async
+    engine re-sorts its queues each tick anyway, which is all the
+    re-ranking needs.
+    """
+
+    name = "fair_tenant"
+    dynamic = True
+
+    def __init__(self) -> None:
+        """Start with every tenant unserved."""
+        self._served: dict = {}
+
+    def reset(self) -> None:
+        """Forget all served-token counters (fresh run, fresh fairness)."""
+        self._served.clear()
+
+    def on_progress(self, request: Request, tokens: int) -> None:
+        """Charge ``tokens`` of service to the request's tenant."""
+        tenant = request.tenant_id
+        self._served[tenant] = self._served.get(tenant, 0) + tokens
+
+    def served(self, tenant_id) -> int:
+        """Decoded tokens charged to ``tenant_id`` so far this run."""
+        return self._served.get(tenant_id, 0)
+
+    def queue_key(self, request: Request, now_s: float = 0.0,
+                  per_token_s: float = 0.0,
+                  remaining: Optional[int] = None) -> Tuple:
+        """Least-served tenant first; priority/arrival within a tenant."""
+        return (self._served.get(request.tenant_id, 0), -request.priority,
+                request.arrival_s, request.request_id)
+
+    def victim_key(self, seq, now_s: float, per_token_s: float) -> Tuple:
+        """Most-served tenant's lowest-priority, latest sequence first."""
+        request = seq.request
+        return (-self._served.get(request.tenant_id, 0), request.priority,
+                -request.arrival_s, -request.request_id)
+
+
 SCHEDULING_POLICIES = {
     FifoPriorityPolicy.name: FifoPriorityPolicy,
     EdfPolicy.name: EdfPolicy,
+    FairTenantPolicy.name: FairTenantPolicy,
 }
 
 

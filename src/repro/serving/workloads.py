@@ -12,6 +12,12 @@ paper's Fig. 14/15 allude to:
   gaps, which stresses admission and preemption much harder than the same
   mean rate spread evenly.
 
+:func:`chat_trace` is the multi-turn, multi-tenant shape on top of the
+open-loop machinery: sessions open Poisson-style, each follow-up turn's
+prompt extends the prior turn's full context, and every session of a tenant
+shares that tenant's system prompt verbatim — the workload shared-prefix KV
+reuse and session-affinity routing are measured on.
+
 Both of those are *open-loop*: arrival times are fixed up front, regardless
 of how the server keeps up.  :class:`ClosedLoopClients` is the third,
 *closed-loop* shape (what think-time benchmarks like TPC and interactive
@@ -40,7 +46,10 @@ from repro.data.corpus import generate_prompts
 from repro.serving.request import Request
 from repro.utils.rng import child_rng
 
-__all__ = ["ArrivalTrace", "ClosedLoopClients", "poisson_trace", "bursty_trace"]
+__all__ = [
+    "ArrivalTrace", "ClosedLoopClients", "poisson_trace", "bursty_trace",
+    "chat_trace",
+]
 
 THINK_DISTRIBUTIONS = ("exponential", "constant")
 
@@ -188,6 +197,112 @@ def bursty_trace(
         "bursty", arrivals, vocab_size, prompt_len_range,
         max_new_tokens_range, slo_scale, per_token_s, priority_levels, seed,
         params={"burst_size": burst_size, "burst_gap_s": burst_gap_s},
+    )
+
+
+def chat_trace(
+    n_sessions: int,
+    vocab_size: int,
+    *,
+    tenants: int = 2,
+    turns: int = 3,
+    rate_per_s: float = 8.0,
+    system_prompt_range: Tuple[int, int] = (12, 24),
+    user_len_range: Tuple[int, int] = (2, 6),
+    max_new_tokens_range: Tuple[int, int] = (8, 24),
+    think_time_s: float = 0.3,
+    slo_scale: Optional[float] = 6.0,
+    per_token_s: float = 0.006,
+    priority_levels: int = 1,
+    seed: int = 0,
+) -> ArrivalTrace:
+    """Multi-turn chat sessions over ``tenants`` shared system prompts.
+
+    The millions-of-users traffic shape: each session belongs to one tenant
+    and opens with that tenant's *system prompt* (every session of a tenant
+    shares it verbatim — the shared-prefix reuse opportunity) followed by a
+    fresh user utterance.  Each follow-up turn's prompt *extends* the prior
+    turn's full context — previous prompt, a deterministic stand-in for the
+    assistant's reply (one placeholder token per budgeted decode token),
+    then the new user utterance — so turn ``j`` re-presents turn ``j-1``'s
+    prompt as an exact prefix, which is what session-affinity routing and
+    radix-tree prefix adoption both key on.
+
+    Session openings are Poisson at ``rate_per_s``; a follow-up turn arrives
+    after the prior turn's ideal service estimate plus an exponential
+    think-time gap.  Requests carry ``session_id``/``turn``/``tenant_id``
+    and are numbered in arrival order.  Fully deterministic given ``seed``.
+    """
+    if n_sessions < 1:
+        raise ValueError("n_sessions must be >= 1")
+    if tenants < 1:
+        raise ValueError("tenants must be >= 1")
+    if turns < 1:
+        raise ValueError("turns must be >= 1")
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    if think_time_s < 0:
+        raise ValueError("think_time_s must be >= 0")
+    if per_token_s <= 0:
+        raise ValueError("per_token_s must be positive")
+    if priority_levels < 1:
+        raise ValueError("priority_levels must be >= 1")
+    sys_lo, sys_hi = system_prompt_range
+    if sys_lo < 1 or sys_hi < sys_lo:
+        raise ValueError(f"bad system_prompt_range {system_prompt_range}")
+    usr_lo, usr_hi = user_len_range
+    if usr_lo < 1 or usr_hi < usr_lo:
+        raise ValueError(f"bad user_len_range {user_len_range}")
+    lo, hi = max_new_tokens_range
+    if lo < 1 or hi < lo:
+        raise ValueError(f"bad max_new_tokens_range {max_new_tokens_range}")
+    rng = child_rng(seed, "workload", "chat")
+    system_prompts = [
+        [int(t) for t in rng.integers(0, vocab_size,
+                                      size=int(rng.integers(sys_lo, sys_hi + 1)))]
+        for _ in range(tenants)
+    ]
+    gaps = rng.exponential(1.0 / rate_per_s, size=n_sessions)
+    gaps[0] = 0.0  # the first session opens at t=0
+    openings = np.cumsum(gaps)
+    drafts = []  # (arrival, session, turn, tenant, prompt, budget, priority)
+    for session in range(n_sessions):
+        tenant = int(rng.integers(0, tenants))
+        context = list(system_prompts[tenant])
+        arrival = float(openings[session])
+        for turn in range(turns):
+            user = [int(t) for t in rng.integers(
+                0, vocab_size, size=int(rng.integers(usr_lo, usr_hi + 1)))]
+            prompt = context + user
+            budget = int(rng.integers(lo, hi + 1))
+            priority = int(rng.integers(0, priority_levels))
+            drafts.append((arrival, session, turn, tenant, prompt, budget,
+                           priority))
+            # The next turn extends this turn's full context with a
+            # placeholder assistant reply (budget tokens) and arrives after
+            # the ideal service estimate plus a think-time gap.
+            reply = [int(t) for t in rng.integers(0, vocab_size, size=budget)]
+            context = prompt + reply
+            service = per_token_s * (budget + 0.1 * len(prompt))
+            gap = (rng.exponential(think_time_s) if think_time_s > 0 else 0.0)
+            arrival = arrival + service + gap
+    drafts.sort(key=lambda d: (d[0], d[1], d[2]))
+    requests = []
+    for i, (arrival, session, turn, tenant, prompt, budget, priority) in \
+            enumerate(drafts):
+        slo = None
+        if slo_scale is not None:
+            # Same ideal-service deadline formula as the open-loop traces.
+            slo = slo_scale * per_token_s * (budget + 0.1 * len(prompt))
+        requests.append(Request(
+            request_id=i, prompt=prompt, max_new_tokens=budget,
+            arrival_s=arrival, slo_s=slo, priority=priority,
+            session_id=session, turn=turn, tenant_id=tenant,
+        ))
+    return ArrivalTrace(
+        requests=requests, kind="chat", seed=seed,
+        params={"n_sessions": n_sessions, "tenants": tenants, "turns": turns,
+                "rate_per_s": rate_per_s, "think_time_s": think_time_s},
     )
 
 

@@ -31,6 +31,17 @@ class TestDesignDoc:
         for name in REGISTRY:
             assert f"bench_{name}" in benches, f"no benchmark for {name}"
 
+    def test_module_map_covers_every_serving_module(self):
+        """DESIGN.md's module map must name every repro.serving module — a
+        new subsystem file that never makes it into the map is exactly the
+        staleness this pass fixed."""
+        design = (REPO / "DESIGN.md").read_text()
+        for path in sorted((REPO / "src/repro/serving").glob("*.py")):
+            if path.name == "__init__.py":
+                continue
+            assert path.name in design, (
+                f"DESIGN.md module map does not mention {path.name}")
+
     def test_readme_points_to_design_and_experiments(self):
         readme = (REPO / "README.md").read_text()
         assert "DESIGN.md" in readme and "EXPERIMENTS.md" in readme
@@ -151,12 +162,26 @@ class TestCliFlagDocs:
             f"{sorted(undocumented)}")
 
     def test_serve_help_explains_policy_precedence(self):
-        """`repro serve --help` must carry the epilog spelling out how
-        --sched, --route and --control interact."""
+        """`repro serve --help` must carry the epilog spelling out how the
+        full knob set — --sched, --route, --control, --faults and
+        --prefix-share — interacts."""
         epilog = _cli_subparsers()["serve"].epilog or ""
-        for flag in ("--sched", "--route", "--control"):
+        for flag in ("--sched", "--route", "--control", "--faults",
+                     "--prefix-share"):
             assert flag in epilog, (
                 f"serve epilog no longer explains {flag}")
+
+    def test_session_flags_exist_and_are_documented(self):
+        """The multi-turn chat / prefix-sharing flags must exist on the
+        serve command AND appear in the docs — both directions, so a rename
+        of either side fails loudly."""
+        session_flags = {"--sessions", "--tenants", "--turns", "--prefix-share"}
+        serve_flags = _option_strings(_cli_subparsers()["serve"])
+        assert session_flags <= serve_flags, (
+            f"serve lost session flags: {sorted(session_flags - serve_flags)}")
+        documented = self.documented_flags()
+        assert session_flags <= documented, (
+            f"session flags undocumented: {sorted(session_flags - documented)}")
 
     def test_fleet_flags_exist_and_are_documented(self):
         """The data-parallel fleet flags must exist on the serve command AND
